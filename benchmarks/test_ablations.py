@@ -1,0 +1,43 @@
+"""Ablation benchmarks for CAFE's design choices (beyond the paper's figures).
+
+These quantify, end to end, the design decisions DESIGN.md calls out: the
+slots-per-bucket trade-off of Corollary 3.5 and the contribution of the
+migration / decay machinery of §3.3 under distribution drift.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.ablations import run_ablation_adaptivity, run_ablation_slots_per_bucket
+
+
+def test_ablation_slots_per_bucket(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_ablation_slots_per_bucket,
+        scale=bench_scale,
+        seeds=(0,),
+        compression_ratio=50.0,
+        slots_options=(1, 4, 8),
+    )
+    rows = {row["slots_per_bucket"]: row for row in result.rows}
+    assert set(rows) == {1, 4, 8}
+    for row in rows.values():
+        assert np.isfinite(row["train_loss"])
+    # The paper's default (4 slots) should not be the worst configuration.
+    aucs = {k: v["test_auc"] for k, v in rows.items()}
+    assert aucs[4] >= min(aucs.values())
+
+
+def test_ablation_adaptivity(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_ablation_adaptivity,
+        scale=bench_scale,
+        seeds=(0,),
+        compression_ratio=50.0,
+    )
+    rows = {row["variant"]: row for row in result.rows}
+    assert set(rows) == {"cafe", "cafe_no_decay", "cafe_no_migration", "hash"}
+    # Full CAFE should not lose to its migration-frozen variant under drift.
+    assert rows["cafe"]["train_loss"] <= rows["cafe_no_migration"]["train_loss"] + 0.01

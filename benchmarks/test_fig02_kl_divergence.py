@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 2 (per-day KL-divergence heatmaps)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.drift import run_fig2_kl_divergence
+
+
+def test_fig02_kl_divergence(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig2_kl_divergence, scale=bench_scale, max_days=6)
+    for name in ("avazu", "criteo", "criteotb"):
+        matrix = result.extras[f"{name}_kl_matrix"]
+        assert matrix.shape[0] >= 3
+        assert np.all(matrix >= 0)
+        assert np.all(np.diag(matrix) == 0)
+        # The figure's qualitative message: larger day gaps → larger divergence.
+        by_gap = result.extras[f"{name}_mean_kl_by_gap"]
+        largest_gap = max(by_gap)
+        assert by_gap[largest_gap] > by_gap[1]

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 3 (gradient-norm distribution vs Zipf fit)."""
+
+from conftest import run_once
+
+from repro.experiments.hotsketch_eval import run_fig3_gradient_zipf
+
+
+def test_fig03_gradient_zipf(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig3_gradient_zipf, scale=bench_scale)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        # The measured importance distribution is heavy-tailed: a Zipf fit with
+        # an exponent near (or above) the preset's popularity exponent.
+        assert row["fitted_zipf_exponent"] > 0.7
+        # The hottest 1% of features carry a disproportionate share of the
+        # total gradient-norm mass (far above the 1% a uniform split would give).
+        assert row["top_1pct_mass"] > 0.05

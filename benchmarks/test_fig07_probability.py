@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 7 (numerical analysis of Theorem 3.3)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.hotsketch_eval import run_fig7_probability_grid
+
+
+def test_fig07_probability_grid(benchmark):
+    result = run_once(benchmark, run_fig7_probability_grid)
+    grid = result.extras["probability_grid"]
+    assert grid.shape == (4, 7)
+    assert np.all((grid >= 0) & (grid <= 1))
+    # Figure 7's two monotone trends: probability rises with hotness (γ, x-axis)
+    # and with skewness (z, y-axis).
+    assert np.all(np.diff(grid, axis=1) >= -1e-9)
+    assert np.all(np.diff(grid, axis=0) >= -1e-9)
+    # The paper's headline region: hot features on skewed streams are retained
+    # with probability close to 1.
+    assert grid[-1, -1] > 0.9

@@ -1,0 +1,53 @@
+"""Benchmark regenerating Figure 8 (AUC / loss vs compression ratio, DLRM)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.end_to_end import run_fig8_metrics_vs_cr
+
+
+def mean_metric(result, dataset, method, metric):
+    rows = [
+        r
+        for r in result.filter_rows(dataset=dataset, method=method)
+        if r.get("feasible") and np.isfinite(r.get(metric, float("nan")))
+    ]
+    return float(np.mean([r[metric] for r in rows])) if rows else float("nan")
+
+
+def test_fig08_metrics_vs_cr(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_fig8_metrics_vs_cr,
+        scale=bench_scale,
+        seeds=(0, 1),
+        compression_ratios=(2.0, 10.0, 50.0, 100.0, 500.0),
+    )
+    for dataset in ("criteo", "criteotb"):
+        rows = result.filter_rows(dataset=dataset)
+        assert rows, f"no rows for {dataset}"
+
+        # Shape 1: only CAFE and Hash remain feasible at every swept ratio;
+        # AdaEmbed hits its memory floor well before the largest ratios.
+        ada_infeasible = [
+            r for r in result.filter_rows(dataset=dataset, method="adaembed") if not r["feasible"]
+        ]
+        assert ada_infeasible, "AdaEmbed should be infeasible at large compression ratios"
+        cafe_rows = [r for r in result.filter_rows(dataset=dataset, method="cafe") if r["compression_ratio"] > 1]
+        assert all(r["feasible"] for r in cafe_rows)
+
+        # Shape 2: the uncompressed ideal is the best configuration.
+        full_auc = mean_metric(result, dataset, "full", "test_auc")
+        hash_auc = mean_metric(result, dataset, "hash", "test_auc")
+        assert full_auc >= hash_auc - 0.02
+
+        # Shape 3 (headline): CAFE matches or beats Hash averaged over the
+        # sweep.  The paper reports a 1.3%-1.9% average AUC gain on the real
+        # datasets; at reproduction scale the gap is within the seed noise, so
+        # the online metric (training loss) carries the tight tolerance and
+        # the AUC comparison a looser one (see EXPERIMENTS.md, "Noise").
+        cafe_auc = mean_metric(result, dataset, "cafe", "test_auc")
+        cafe_loss = mean_metric(result, dataset, "cafe", "train_loss")
+        hash_loss = mean_metric(result, dataset, "hash", "train_loss")
+        assert cafe_loss <= hash_loss + 0.01
+        assert cafe_auc >= hash_auc - 0.03

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 9 (metrics vs training iterations)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.end_to_end import run_fig9_metrics_vs_iterations
+
+
+def test_fig09_metrics_vs_iterations(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_fig9_metrics_vs_iterations,
+        scale=bench_scale,
+        datasets=("criteo",),
+        methods=("hash", "cafe"),
+        high_ratio=100.0,
+        low_ratio=5.0,
+        eval_every=20,
+    )
+    feasible = [r for r in result.rows if r.get("feasible")]
+    assert feasible
+    for row in feasible:
+        key = f"criteo_{row['method']}_cr{int(row['compression_ratio'])}"
+        curve = result.extras[f"{key}_loss_curve"]
+        assert curve.size > 10
+        assert np.all(np.isfinite(curve))
+        # The loss trends downward over the epoch (training is learning).
+        assert curve[-5:].mean() < curve[:5].mean()
+        # Periodic AUC evaluations were captured.
+        assert result.extras[f"{key}_auc_curve"].size >= 1

@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 10 (KDD12 AUC vs CR; Avazu loss vs CR / iterations)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.end_to_end import run_fig10_kdd12_avazu
+
+
+def test_fig10_kdd12_avazu(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_fig10_kdd12_avazu,
+        scale=bench_scale,
+        seeds=(0,),
+        methods=("full", "hash", "cafe"),
+        compression_ratios=(10.0, 100.0, 500.0),
+        iteration_ratio=10.0,
+    )
+    for dataset in ("kdd12", "avazu"):
+        rows = [r for r in result.filter_rows(dataset=dataset) if r.get("feasible")]
+        assert rows, f"no feasible rows for {dataset}"
+        aucs = [r["test_auc"] for r in rows]
+        assert all(0.0 <= a <= 1.0 for a in aucs)
+
+    # CAFE vs Hash on the online metric (training loss), averaged over the sweep.
+    def mean_loss(dataset, method):
+        rows = [
+            r
+            for r in result.filter_rows(dataset=dataset, method=method)
+            if r.get("feasible") and r["compression_ratio"] > 1
+        ]
+        return float(np.mean([r["train_loss"] for r in rows]))
+
+    assert mean_loss("avazu", "cafe") <= mean_loss("avazu", "hash") + 0.015
+
+    # Avazu loss-vs-iteration curves exist and are finite.
+    for method in ("hash", "cafe"):
+        curve = result.extras[f"avazu_{method}_loss_curve"]
+        assert np.all(np.isfinite(curve))

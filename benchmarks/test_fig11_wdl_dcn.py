@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 11 (WDL and DCN on the CriteoTB preset)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.end_to_end import run_fig11_wdl_dcn
+
+
+def test_fig11_wdl_dcn(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_fig11_wdl_dcn,
+        scale=bench_scale,
+        seeds=(0,),
+        methods=("hash", "cafe"),
+        compression_ratios=(10.0, 100.0),
+        models=("wdl", "dcn"),
+    )
+    for model in ("wdl", "dcn"):
+        rows = [r for r in result.filter_rows(model=model) if r.get("feasible")]
+        assert rows, f"no feasible rows for {model}"
+        # Both architectures train to something better than chance at modest CR.
+        best_auc = max(r["test_auc"] for r in rows)
+        assert best_auc > 0.52
+
+        # The paper's conclusion carries over from DLRM: CAFE ≥ Hash on loss.
+        cafe_loss = np.mean(
+            [r["train_loss"] for r in result.filter_rows(model=model, method="cafe") if r.get("feasible")]
+        )
+        hash_loss = np.mean(
+            [r["train_loss"] for r in result.filter_rows(model=model, method="hash") if r.get("feasible")]
+        )
+        assert cafe_loss <= hash_loss + 0.02

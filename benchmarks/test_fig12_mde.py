@@ -1,0 +1,55 @@
+"""Benchmark regenerating Figure 12 (comparison with MDE column compression)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.mde_compare import run_fig12_mde
+
+
+def test_fig12_mde(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_fig12_mde,
+        scale=bench_scale,
+        seeds=(0,),
+        datasets=("criteo",),
+        compression_ratios=(2.0, 5.0, 10.0, 100.0),
+    )
+    mde_rows = result.filter_rows(dataset="criteo", method="mde")
+    assert mde_rows
+    # Structural shape: MDE cannot go past (roughly) the embedding dimension.
+    infeasible = [r for r in mde_rows if not r["feasible"]]
+    feasible = [r for r in mde_rows if r["feasible"]]
+    assert infeasible, "MDE should be infeasible at CR >> embedding dim"
+    assert feasible, "MDE should be feasible at small CRs"
+
+    # Row-compression comparison at the ratios where MDE still runs: CAFE is
+    # at least competitive with the Hash baseline.  (The paper's second MDE
+    # claim — that MDE collapses at large compression ratios — appears here as
+    # the infeasibility above: below one column per feature MDE simply cannot
+    # be built, while CAFE keeps running.  At the reduced dataset scale MDE is
+    # strong at CRs below the embedding dimension because it still has one row
+    # per feature; see EXPERIMENTS.md.)
+    common = [r["compression_ratio"] for r in feasible]
+    cafe_auc = np.mean(
+        [
+            r["test_auc"]
+            for r in result.filter_rows(dataset="criteo", method="cafe")
+            if r["compression_ratio"] in common and r.get("feasible")
+        ]
+    )
+    hash_auc = np.mean(
+        [
+            r["test_auc"]
+            for r in result.filter_rows(dataset="criteo", method="hash")
+            if r["compression_ratio"] in common and r.get("feasible")
+        ]
+    )
+    assert cafe_auc >= hash_auc - 0.02
+    # CAFE keeps working at the ratio where MDE became infeasible.
+    cafe_at_large = [
+        r
+        for r in result.filter_rows(dataset="criteo", method="cafe")
+        if r["compression_ratio"] == infeasible[0]["compression_ratio"]
+    ]
+    assert cafe_at_large and cafe_at_large[0]["feasible"]

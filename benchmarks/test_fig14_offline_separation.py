@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 14 (CAFE vs offline feature separation)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.offline_compare import run_fig14_offline_separation
+
+
+def test_fig14_offline_separation(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_fig14_offline_separation,
+        scale=bench_scale,
+        seeds=(0,),
+        compression_ratios=(10.0, 100.0),
+        iteration_ratio=100.0,
+    )
+    cafe = {r["compression_ratio"]: r for r in result.filter_rows(method="cafe")}
+    offline = {r["compression_ratio"]: r for r in result.filter_rows(method="offline")}
+    assert set(cafe) == set(offline)
+    # The paper's message: the online sketch-based separation performs about
+    # as well as the frequency oracle; we allow a small tolerance per ratio.
+    for ratio in cafe:
+        assert cafe[ratio]["test_auc"] >= offline[ratio]["test_auc"] - 0.03
+        assert cafe[ratio]["train_loss"] <= offline[ratio]["train_loss"] + 0.03
+    # Iteration-level loss curves for both variants exist.
+    assert "cafe_loss_curve_cr100" in result.extras
+    assert "offline_loss_curve_cr100" in result.extras
+    assert np.all(np.isfinite(result.extras["cafe_loss_curve_cr100"]))

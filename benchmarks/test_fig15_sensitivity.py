@@ -1,0 +1,40 @@
+"""Benchmark regenerating Figure 15 (configuration sensitivity of CAFE)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.sensitivity import run_fig15_sensitivity
+
+
+def test_fig15_sensitivity(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_fig15_sensitivity,
+        scale=bench_scale,
+        seeds=(0,),
+        compression_ratio=50.0,
+        hot_percentages=(0.4, 0.7, 0.9),
+        thresholds=(5.0, 500.0),
+        decays=(0.9, 1.0),
+    )
+    panels = {row["panel"] for row in result.rows}
+    assert panels == {"hot_percentage", "threshold", "decay", "design"}
+
+    # Every configuration trains to a finite loss / sane AUC.
+    for row in result.rows:
+        assert np.isfinite(row["train_loss"])
+        assert 0.0 <= row["test_auc"] <= 1.0
+
+    # Panel (a): the extreme split is not the best choice — the interior
+    # hot-percentage (0.7, the paper's recommendation) is competitive.
+    hp = {row["value"]: row["test_auc"] for row in result.filter_rows(panel="hot_percentage")}
+    assert hp[0.7] >= min(hp.values())
+
+    # Panel (b): the adaptive threshold is at least as good as a badly chosen
+    # fixed threshold (the paper shows both extremes hurt).
+    thresholds = {row["value"]: row["test_auc"] for row in result.filter_rows(panel="threshold")}
+    assert thresholds["adaptive"] >= min(v for k, v in thresholds.items() if k != "adaptive") - 0.01
+
+    # Panel (d): gradient-norm importance is at least as good as frequency.
+    design = {row["value"]: row["test_auc"] for row in result.filter_rows(panel="design")}
+    assert design["gradient_norm"] >= design["frequency"] - 0.02

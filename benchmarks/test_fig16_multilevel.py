@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 16 (CAFE vs multi-level CAFE-ML)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.multilevel import run_fig16_multilevel
+
+
+def test_fig16_multilevel(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_fig16_multilevel,
+        scale=bench_scale,
+        seeds=(0, 1),
+        compression_ratios=(10.0, 50.0, 100.0),
+    )
+    cafe_rows = [r for r in result.filter_rows(method="cafe") if r.get("feasible")]
+    ml_rows = [r for r in result.filter_rows(method="cafe_ml") if r.get("feasible")]
+    assert len(cafe_rows) == len(ml_rows) == 3
+
+    # Both variants stay feasible across the sweep and produce sane metrics.
+    for row in cafe_rows + ml_rows:
+        assert np.isfinite(row["train_loss"])
+        assert 0.0 <= row["test_auc"] <= 1.0
+
+    # The paper reports a small but consistent edge for CAFE-ML (≈0.08% AUC,
+    # 0.25% loss); at reproduction scale we assert it is not worse on average.
+    cafe_loss = np.mean([r["train_loss"] for r in cafe_rows])
+    ml_loss = np.mean([r["train_loss"] for r in ml_rows])
+    assert ml_loss <= cafe_loss + 0.01

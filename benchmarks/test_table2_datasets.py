@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table 2 (dataset statistics)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import run_table2
+
+
+def test_table2_datasets(benchmark, bench_scale):
+    result = run_once(benchmark, run_table2, scale=bench_scale)
+    assert len(result.rows) == 4
+    by_name = {row["dataset"]: row for row in result.rows}
+    # The paper's Table 2 values are reproduced verbatim.
+    assert by_name["criteo"]["paper_features"] == 33_762_577
+    assert by_name["criteotb"]["paper_samples"] == 4_373_472_329
+    # The scaled presets preserve the field structure.
+    assert by_name["criteo"]["preset_fields"] == 26
+    assert by_name["kdd12"]["preset_fields"] == 11

@@ -1,0 +1,85 @@
+"""Quickstart: train a DLRM with a CAFE-compressed embedding table.
+
+This example builds a small synthetic Criteo-like dataset, compresses the
+embedding table 100x with CAFE, trains one chronological epoch (the paper's
+online-training protocol), and compares the result against the uncompressed
+ideal and the hash-trick baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import SyntheticConfig, SyntheticCTRDataset, make_preset
+from repro.embeddings import create_embedding
+from repro.models import create_model
+from repro.training import TrainingConfig, train_and_evaluate
+
+COMPRESSION_RATIO = 100.0
+BATCH_SIZE = 128
+SEED = 0
+
+
+def train_one(method: str, dataset: SyntheticCTRDataset, compression_ratio: float) -> dict:
+    """Train one configuration and return its metrics."""
+    schema = dataset.schema
+    embedding = create_embedding(
+        method,
+        num_features=schema.num_features,
+        dim=schema.embedding_dim,
+        compression_ratio=compression_ratio,
+        optimizer="adagrad",
+        learning_rate=0.1,
+        rng=np.random.default_rng(SEED),
+    )
+    model = create_model(
+        "dlrm",
+        embedding,
+        num_fields=schema.num_fields,
+        num_numerical=schema.num_numerical,
+        rng=np.random.default_rng(SEED + 1),
+    )
+    results = train_and_evaluate(
+        model,
+        dataset.training_stream(BATCH_SIZE),
+        dataset.test_batch(2048),
+        config=TrainingConfig(batch_size=BATCH_SIZE, seed=SEED),
+    )
+    results["memory_floats"] = embedding.memory_floats()
+    results["achieved_ratio"] = embedding.compression_ratio()
+    return results
+
+
+def main() -> None:
+    # A scaled-down synthetic preset mirroring the Criteo Kaggle dataset:
+    # 26 categorical fields, 13 numerical features, Zipf-skewed popularity,
+    # 7 logical days with gradual distribution drift.
+    schema = make_preset("criteo", base_cardinality=300, seed=SEED)
+    schema.num_days = 5
+    dataset = SyntheticCTRDataset(schema, config=SyntheticConfig(samples_per_day=3000, seed=SEED))
+
+    print(f"dataset: {schema.name}  features={schema.num_features}  fields={schema.num_fields}")
+    print(f"uncompressed embedding parameters: {schema.embedding_parameters}")
+    print()
+
+    print(f"{'method':<12} {'CR':>8} {'memory':>10} {'train loss':>12} {'test AUC':>10}")
+    for method, ratio in [("full", 1.0), ("hash", COMPRESSION_RATIO), ("cafe", COMPRESSION_RATIO)]:
+        results = train_one(method, dataset, ratio)
+        print(
+            f"{method:<12} {results['achieved_ratio']:>8.1f} {results['memory_floats']:>10d} "
+            f"{results['train_loss']:>12.4f} {results['test_auc']:>10.4f}"
+        )
+
+    print()
+    print("CAFE keeps the hottest features in exclusive rows (tracked online by")
+    print("HotSketch) and shares hashed rows among the long tail.  The paper's")
+    print("online metric is the average training loss: at the same memory CAFE")
+    print("stays closer to the uncompressed ideal than the plain hash trick.")
+    print("(At this miniature scale single runs are noisy — the benchmark suite")
+    print("in benchmarks/ averages over seeds and sweeps the full ratio range.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro: a from-scratch reproduction of CAFE (SIGMOD 2024).
+
+The package provides:
+
+* ``repro.nn`` — a NumPy autograd / neural-network substrate;
+* ``repro.sketch`` — HotSketch and reference sketches;
+* ``repro.embeddings`` — CAFE, CAFE-ML and all baseline compressed embeddings;
+* ``repro.models`` — DLRM, WDL and DCN recommendation models;
+* ``repro.data`` — synthetic CTR streams, Criteo reader, dataset schemas;
+* ``repro.training`` — training/evaluation loops and metrics;
+* ``repro.experiments`` — one runner per table/figure of the paper.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,130 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list
+    python -m repro run fig8 --scale tiny --seed 0
+    python -m repro run table2 --output results/table2.txt
+    python -m repro sweep --dataset criteo --methods hash cafe --ratios 10 100
+
+``run`` executes one registered table/figure experiment and prints the same
+rows the paper reports; ``sweep`` is a free-form method × compression-ratio
+grid for quick exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    EXPERIMENTS,
+    build_dataset,
+    compare_methods,
+    format_table,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.registry import ABLATIONS
+from repro.experiments.reporting import ExperimentResult
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'CAFE: Compact, Adaptive, and Fast Embedding' (SIGMOD 2024)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all reproducible tables and figures")
+
+    run_parser = subparsers.add_parser("run", help="run one table/figure experiment or ablation")
+    run_parser.add_argument(
+        "experiment",
+        choices=list_experiments(include_ablations=True),
+        help="experiment id (e.g. fig8, ablation_slots)",
+    )
+    run_parser.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"],
+                            help="workload scale (default: tiny)")
+    run_parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    run_parser.add_argument("--output", type=Path, default=None, help="write the result table to this file")
+
+    sweep_parser = subparsers.add_parser("sweep", help="free-form method x compression-ratio sweep")
+    sweep_parser.add_argument("--dataset", default="criteo",
+                              choices=["avazu", "criteo", "kdd12", "criteotb"])
+    sweep_parser.add_argument("--model", default="dlrm", choices=["dlrm", "wdl", "dcn"])
+    sweep_parser.add_argument("--methods", nargs="+", default=["hash", "cafe"],
+                              help="embedding methods to compare")
+    sweep_parser.add_argument("--ratios", nargs="+", type=float, default=[10.0, 100.0],
+                              help="compression ratios to sweep")
+    sweep_parser.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--output", type=Path, default=None)
+    return parser
+
+
+def _experiment_kwargs(experiment_id: str, scale: str, seed: int) -> dict:
+    """Map CLI options onto the (slightly heterogeneous) runner signatures."""
+    spec = EXPERIMENTS.get(experiment_id) or ABLATIONS[experiment_id]
+    kwargs: dict = {}
+    import inspect
+
+    signature = inspect.signature(spec.runner)
+    if "scale" in signature.parameters:
+        kwargs["scale"] = scale
+    if "seed" in signature.parameters:
+        kwargs["seed"] = seed
+    elif "seeds" in signature.parameters:
+        kwargs["seeds"] = (seed,)
+    return kwargs
+
+
+def _emit(result_text: str, output: Path | None) -> None:
+    print(result_text)
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(result_text + "\n", encoding="utf-8")
+        print(f"\nwritten to {output}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        rows = [
+            {"id": spec.experiment_id, "paper": spec.paper_reference, "title": spec.title}
+            for spec in list(EXPERIMENTS.values()) + list(ABLATIONS.values())
+        ]
+        print(format_table(rows))
+        return 0
+
+    if args.command == "run":
+        kwargs = _experiment_kwargs(args.experiment, args.scale, args.seed)
+        result = run_experiment(args.experiment, **kwargs)
+        _emit(result.to_text(), args.output)
+        return 0
+
+    if args.command == "sweep":
+        dataset = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        outcomes = compare_methods(
+            dataset,
+            list(args.methods),
+            list(args.ratios),
+            model_name=args.model,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        result = ExperimentResult(
+            experiment_id="sweep",
+            title=f"{args.model} on the {args.dataset} preset",
+            rows=[o.as_row() for o in outcomes],
+        )
+        _emit(result.to_text(), args.output)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

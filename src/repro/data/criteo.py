@@ -1,0 +1,121 @@
+"""Reader for the Criteo Kaggle / Terabyte TSV click-log format.
+
+The real datasets are not bundled (they are tens of gigabytes and behind
+click-through licences), but users who have the files can stream them through
+the same :class:`~repro.data.stream.Batch` interface the synthetic generator
+produces, so every experiment in this repository runs unchanged on real data.
+
+Each line of the Criteo format is::
+
+    <label> \t <13 integer features> \t <26 categorical features (hex strings)>
+
+Missing values are empty strings.  Categorical values are hashed into each
+field's id space with a deterministic 64-bit mix, bounded by
+``max_cardinality_per_field`` — the same "maximum cardinality" preprocessing
+the paper applies to CriteoTB (§5.1.1, cap of 4e7 per field in MLPerf).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.schema import DatasetSchema, FieldSchema
+from repro.data.stream import Batch
+from repro.errors import DataError
+from repro.utils.hashing import mix64
+
+NUM_NUMERICAL = 13
+NUM_CATEGORICAL = 26
+
+
+def criteo_schema(max_cardinality_per_field: int, embedding_dim: int = 16, num_days: int = 7) -> DatasetSchema:
+    """Schema for Criteo-format data with hashed per-field id spaces."""
+    if max_cardinality_per_field <= 0:
+        raise DataError("max_cardinality_per_field must be positive")
+    fields = [
+        FieldSchema(name=f"C{i + 1}", cardinality=max_cardinality_per_field)
+        for i in range(NUM_CATEGORICAL)
+    ]
+    return DatasetSchema(
+        name="criteo_file",
+        fields=fields,
+        num_numerical=NUM_NUMERICAL,
+        embedding_dim=embedding_dim,
+        num_days=num_days,
+    )
+
+
+class CriteoFileReader:
+    """Stream batches from one or more Criteo TSV files."""
+
+    def __init__(self, schema: DatasetSchema, hash_seed: int = 1234):
+        if schema.num_fields != NUM_CATEGORICAL or schema.num_numerical != NUM_NUMERICAL:
+            raise DataError(
+                "CriteoFileReader requires the 13-numerical / 26-categorical Criteo schema; "
+                "build one with criteo_schema()"
+            )
+        self.schema = schema
+        self.hash_seed = int(hash_seed)
+
+    # ------------------------------------------------------------------ #
+    # Line parsing
+    # ------------------------------------------------------------------ #
+    def parse_lines(self, lines: list[str]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Parse raw TSV lines into (labels, numerical, per-field ids)."""
+        labels = np.zeros(len(lines), dtype=np.float64)
+        numerical = np.zeros((len(lines), NUM_NUMERICAL), dtype=np.float64)
+        categorical = np.zeros((len(lines), NUM_CATEGORICAL), dtype=np.int64)
+        for row, line in enumerate(lines):
+            parts = line.rstrip("\n").split("\t")
+            if len(parts) != 1 + NUM_NUMERICAL + NUM_CATEGORICAL:
+                raise DataError(
+                    f"malformed Criteo line {row}: expected {1 + NUM_NUMERICAL + NUM_CATEGORICAL} "
+                    f"fields, got {len(parts)}"
+                )
+            labels[row] = float(parts[0]) if parts[0] else 0.0
+            for i, token in enumerate(parts[1 : 1 + NUM_NUMERICAL]):
+                value = float(token) if token else 0.0
+                # Standard Criteo preprocessing: log transform of non-negative counts.
+                numerical[row, i] = np.log1p(max(value, 0.0))
+            for i, token in enumerate(parts[1 + NUM_NUMERICAL :]):
+                categorical[row, i] = self._hash_token(token, field=i)
+        return labels, numerical, categorical
+
+    def _hash_token(self, token: str, field: int) -> int:
+        cardinality = self.schema.fields[field].cardinality
+        if not token:
+            return 0
+        raw = int.from_bytes(token.encode("utf-8")[:8].ljust(8, b"\0"), "little")
+        return int(mix64(raw, seed=self.hash_seed + field) % np.uint64(cardinality))
+
+    # ------------------------------------------------------------------ #
+    # Batch iteration
+    # ------------------------------------------------------------------ #
+    def iter_batches(self, path: str | Path, batch_size: int, day: int = 0) -> Iterator[Batch]:
+        """Stream a TSV file as batches of global-id samples."""
+        if batch_size <= 0:
+            raise DataError("batch_size must be positive")
+        path = Path(path)
+        if not path.exists():
+            raise DataError(f"Criteo file not found: {path}")
+        buffer: list[str] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                buffer.append(line)
+                if len(buffer) == batch_size:
+                    yield self._to_batch(buffer, day)
+                    buffer = []
+        if buffer:
+            yield self._to_batch(buffer, day)
+
+    def _to_batch(self, lines: list[str], day: int) -> Batch:
+        labels, numerical, categorical = self.parse_lines(lines)
+        return Batch(
+            categorical=self.schema.to_global_ids(categorical),
+            numerical=numerical,
+            labels=labels,
+            day=day,
+        )

@@ -1,0 +1,82 @@
+"""Batch containers and streaming iteration over chronological CTR data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+@dataclass
+class Batch:
+    """One mini-batch of training or evaluation data.
+
+    ``categorical`` holds *global* feature ids of shape ``(batch, fields)``,
+    ``numerical`` holds dense features ``(batch, num_numerical)`` (possibly
+    zero columns), ``labels`` holds binary click labels ``(batch,)``, and
+    ``day`` records which logical day the samples belong to (used by the
+    online-training protocol and the drift experiments).
+    """
+
+    categorical: np.ndarray
+    numerical: np.ndarray
+    labels: np.ndarray
+    day: int = 0
+
+    def __post_init__(self):
+        self.categorical = np.asarray(self.categorical, dtype=np.int64)
+        self.numerical = np.asarray(self.numerical, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.float64)
+        batch = self.categorical.shape[0]
+        if self.numerical.shape[0] != batch or self.labels.shape[0] != batch:
+            raise DataError(
+                "categorical, numerical and labels must agree on the batch dimension: "
+                f"{self.categorical.shape[0]}, {self.numerical.shape[0]}, {self.labels.shape[0]}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.categorical.shape[0])
+
+    @property
+    def positive_rate(self) -> float:
+        return float(self.labels.mean()) if len(self) else 0.0
+
+
+def iterate_batches(
+    categorical: np.ndarray,
+    numerical: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    day: int = 0,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """Slice arrays into consecutive :class:`Batch` objects."""
+    if batch_size <= 0:
+        raise DataError(f"batch_size must be positive, got {batch_size}")
+    total = categorical.shape[0]
+    for start in range(0, total, batch_size):
+        end = min(start + batch_size, total)
+        if drop_last and end - start < batch_size:
+            break
+        yield Batch(
+            categorical=categorical[start:end],
+            numerical=numerical[start:end],
+            labels=labels[start:end],
+            day=day,
+        )
+
+
+def concat_batches(batches: Iterable[Batch]) -> Batch:
+    """Concatenate several batches into one (used for evaluation sets)."""
+    batches = list(batches)
+    if not batches:
+        raise DataError("cannot concatenate an empty list of batches")
+    return Batch(
+        categorical=np.concatenate([b.categorical for b in batches], axis=0),
+        numerical=np.concatenate([b.numerical for b in batches], axis=0),
+        labels=np.concatenate([b.labels for b in batches], axis=0),
+        day=batches[-1].day,
+    )

@@ -1,0 +1,113 @@
+"""Compressed embedding layers: CAFE, CAFE-ML, and all paper baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.ada_embed import AdaEmbed
+from repro.embeddings.base import CompressedEmbedding, TableBackedEmbedding
+from repro.embeddings.cafe import CafeEmbedding
+from repro.embeddings.cafe_ml import CafeMultiLevelEmbedding
+from repro.embeddings.full import FullEmbedding
+from repro.embeddings.hash_embedding import HashEmbedding
+from repro.embeddings.memory import (
+    MemoryBudget,
+    max_compression_ratio_adaembed,
+    max_compression_ratio_qr,
+)
+from repro.embeddings.mde import MixedDimensionEmbedding
+from repro.embeddings.offline import OfflineSeparationEmbedding
+from repro.embeddings.qr_embedding import QRTrickEmbedding
+from repro.embeddings.quantized import QuantizedEmbedding
+
+#: Canonical method names used by experiment configurations and reports.
+METHOD_NAMES = (
+    "full",
+    "hash",
+    "qr",
+    "adaembed",
+    "mde",
+    "cafe",
+    "cafe_ml",
+    "offline",
+)
+
+
+def create_embedding(
+    method: str,
+    num_features: int,
+    dim: int,
+    compression_ratio: float = 1.0,
+    field_cardinalities: list[int] | None = None,
+    frequencies: np.ndarray | None = None,
+    optimizer: str = "sgd",
+    learning_rate: float = 0.05,
+    rng=None,
+    **kwargs,
+) -> CompressedEmbedding:
+    """Factory building any embedding scheme from a compression ratio.
+
+    Parameters
+    ----------
+    method:
+        One of :data:`METHOD_NAMES`.
+    num_features, dim:
+        Total categorical feature count and embedding dimension.
+    compression_ratio:
+        Target ``CR``; the uncompressed memory ``num_features * dim`` is
+        divided by this value to obtain the float budget.
+    field_cardinalities:
+        Required for ``"mde"`` (its per-field dimension rule needs them).
+    frequencies:
+        Required for ``"offline"`` (the oracle frequency statistics).
+    kwargs:
+        Method-specific options forwarded to the constructor / ``from_budget``.
+    """
+    lowered = method.lower()
+    if lowered not in METHOD_NAMES:
+        raise ValueError(f"unknown embedding method '{method}'; expected one of {METHOD_NAMES}")
+    common = {"optimizer": optimizer, "learning_rate": learning_rate, "rng": rng}
+    if lowered == "full":
+        return FullEmbedding(num_features, dim, **common)
+    budget = MemoryBudget.from_compression_ratio(num_features, dim, compression_ratio)
+    if lowered == "hash":
+        return HashEmbedding.from_budget(budget, **common, **kwargs)
+    if lowered == "qr":
+        return QRTrickEmbedding.from_budget(budget, **common, **kwargs)
+    if lowered == "adaembed":
+        return AdaEmbed.from_budget(budget, **common, **kwargs)
+    if lowered == "mde":
+        if field_cardinalities is None:
+            raise ValueError("MDE requires field_cardinalities")
+        return MixedDimensionEmbedding.from_budget(
+            budget, field_cardinalities=field_cardinalities, **common, **kwargs
+        )
+    if lowered == "cafe":
+        return CafeEmbedding.from_budget(budget, **common, **kwargs)
+    if lowered == "cafe_ml":
+        return CafeMultiLevelEmbedding.from_budget(budget, **common, **kwargs)
+    if lowered == "offline":
+        if frequencies is None:
+            raise ValueError("offline separation requires frequency statistics")
+        return OfflineSeparationEmbedding.from_budget(budget, frequencies=frequencies, **common, **kwargs)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+__all__ = [
+    "CompressedEmbedding",
+    "TableBackedEmbedding",
+    "FullEmbedding",
+    "HashEmbedding",
+    "QRTrickEmbedding",
+    "AdaEmbed",
+    "MixedDimensionEmbedding",
+    "CafeEmbedding",
+    "CafeMultiLevelEmbedding",
+    "OfflineSeparationEmbedding",
+    "QuantizedEmbedding",
+    "MemoryBudget",
+    "max_compression_ratio_qr",
+    "max_compression_ratio_adaembed",
+    "METHOD_NAMES",
+    "create_embedding",
+]

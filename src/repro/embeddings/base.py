@@ -1,0 +1,122 @@
+"""Common interface for (compressed) embedding layers.
+
+The models in :mod:`repro.models` treat the embedding layer as an opaque
+component with two operations:
+
+* :meth:`CompressedEmbedding.lookup` maps a batch of global feature ids of
+  shape ``(batch, fields)`` to embedding vectors ``(batch, fields, dim)``;
+* :meth:`CompressedEmbedding.apply_gradients` receives the gradient of the
+  loss with respect to those looked-up vectors (same shape) and performs the
+  sparse parameter update.
+
+Keeping the embedding storage outside the autograd graph mirrors how large
+DLRM systems separate the "sparse" and "dense" optimizers, and it is exactly
+the hook CAFE needs: the per-lookup gradient norms are the importance scores
+fed into HotSketch (paper §3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.optim import RowOptimizer, make_row_optimizer
+
+
+class CompressedEmbedding:
+    """Abstract base class for all embedding schemes in this library."""
+
+    def __init__(self, num_features: int, dim: int):
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.num_features = int(num_features)
+        self.dim = int(dim)
+        self._step = 0
+
+    # ------------------------------------------------------------------ #
+    # Required interface
+    # ------------------------------------------------------------------ #
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Return embeddings for global feature ids of shape ``(..., )``.
+
+        The output shape is ``ids.shape + (dim,)``.
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Update parameters given per-lookup gradients.
+
+        ``grads`` must have shape ``ids.shape + (dim,)``.
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def memory_floats(self) -> int:
+        """Total memory footprint in float32-equivalent parameters.
+
+        Includes every auxiliary structure (hash index tables, importance
+        arrays, sketches) per the paper's fairness rule in §5.1.4.
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def step(self) -> int:
+        """Number of gradient applications performed so far."""
+        return self._step
+
+    def compression_ratio(self) -> float:
+        """Achieved compression ratio versus an uncompressed table."""
+        return (self.num_features * self.dim) / max(self.memory_floats(), 1)
+
+    def _check_ids(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_features):
+            raise ValueError(
+                f"feature ids must lie in [0, {self.num_features}), got range "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        return ids
+
+    def _check_grads(self, ids: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        grads = np.asarray(grads, dtype=np.float64)
+        expected = ids.shape + (self.dim,)
+        if grads.shape != expected:
+            raise ValueError(f"gradient shape {grads.shape} does not match {expected}")
+        return grads
+
+    @staticmethod
+    def _flatten(ids: np.ndarray, grads: np.ndarray | None = None):
+        flat_ids = ids.reshape(-1)
+        if grads is None:
+            return flat_ids, None
+        return flat_ids, grads.reshape(flat_ids.shape[0], -1)
+
+    def describe(self) -> dict[str, float | int | str]:
+        """Human-readable summary used by experiment reports."""
+        return {
+            "method": type(self).__name__,
+            "num_features": self.num_features,
+            "dim": self.dim,
+            "memory_floats": self.memory_floats(),
+            "compression_ratio": round(self.compression_ratio(), 2),
+        }
+
+
+class TableBackedEmbedding(CompressedEmbedding):
+    """Convenience base for schemes storing one or more dense row tables."""
+
+    def __init__(
+        self,
+        num_features: int,
+        dim: int,
+        optimizer: str = "sgd",
+        learning_rate: float = 0.05,
+    ):
+        super().__init__(num_features, dim)
+        self.optimizer_name = optimizer
+        self.learning_rate = float(learning_rate)
+
+    def _new_row_optimizer(self) -> RowOptimizer:
+        return make_row_optimizer(self.optimizer_name, self.learning_rate)

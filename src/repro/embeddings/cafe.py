@@ -1,0 +1,335 @@
+"""CAFE: the Compact, Adaptive and Fast embedding layer (paper Section 3).
+
+The layer combines three pieces:
+
+* a :class:`~repro.sketch.hotsketch.HotSketch` that accumulates per-feature
+  importance scores (L2 norms of the per-lookup gradients) and stores, for
+  each currently-hot feature, a pointer to its exclusive embedding row;
+* an *exclusive* table with one row per hot feature;
+* a *shared* hash table for the long tail of non-hot features.
+
+Migration (§3.3): when a non-hot feature's score crosses the hot threshold
+and a free exclusive row exists, the row is initialized from the feature's
+current shared embedding and the pointer is written into the sketch slot.
+When a hot feature's score falls below the threshold (through decay) or its
+slot is evicted by SpaceSaving replacement, the exclusive row is released and
+the feature falls back to the shared table.
+
+The hot threshold can be a fixed value (as in the paper's sensitivity study,
+Figure 15b) or adaptive: the adaptive controller nudges the threshold so that
+the exclusive table stays saturated, which is what the paper describes as the
+threshold being "meticulously set, allowing HotSketch to always saturate with
+hot features".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import TableBackedEmbedding
+from repro.embeddings.memory import MemoryBudget
+from repro.nn.init import embedding_uniform
+from repro.sketch.hotsketch import NO_PAYLOAD, HotSketch
+from repro.utils.hashing import hash_to_range
+from repro.utils.rng import SeedLike, make_rng
+
+# Memory cost of the sketch per hot feature: ``slots_per_bucket`` slots of 3
+# attributes each (key, score, pointer), as used in the paper's §5.3 memory
+# split ("the ratio of memory usage between HotSketch and d dimension
+# exclusive embeddings is 12 : d" with 4 slots per bucket).
+SKETCH_ATTRIBUTES_PER_SLOT = 3
+
+
+class CafeEmbedding(TableBackedEmbedding):
+    """Hot/cold separated embedding driven by HotSketch."""
+
+    def __init__(
+        self,
+        num_features: int,
+        dim: int,
+        num_hot_rows: int,
+        num_shared_rows: int,
+        hot_threshold: float | None = None,
+        initial_threshold: float = 1.0,
+        slots_per_bucket: int = 4,
+        decay: float = 0.98,
+        decay_interval: int = 200,
+        rebalance_interval: int = 20,
+        hysteresis: float = 1.1,
+        use_frequency: bool = False,
+        optimizer: str = "sgd",
+        learning_rate: float = 0.05,
+        hash_seed: int = 101,
+        sketch_seed: int = 7,
+        rng: SeedLike = None,
+    ):
+        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        if num_hot_rows <= 0:
+            raise ValueError(f"num_hot_rows must be positive, got {num_hot_rows}")
+        if num_shared_rows <= 0:
+            raise ValueError(f"num_shared_rows must be positive, got {num_shared_rows}")
+        if hysteresis < 1.0:
+            raise ValueError(f"hysteresis must be ≥ 1, got {hysteresis}")
+        generator = make_rng(rng)
+
+        self.num_hot_rows = int(num_hot_rows)
+        self.num_shared_rows = int(num_shared_rows)
+        self.adaptive_threshold = hot_threshold is None
+        self.hot_threshold = float(initial_threshold if hot_threshold is None else hot_threshold)
+        self.slots_per_bucket = int(slots_per_bucket)
+        self.decay = float(decay)
+        self.decay_interval = int(decay_interval)
+        self.rebalance_interval = int(rebalance_interval)
+        self.hysteresis = float(hysteresis)
+        self.use_frequency = bool(use_frequency)
+        self.hash_seed = int(hash_seed)
+
+        self.sketch = HotSketch(
+            num_buckets=self.num_hot_rows,
+            slots_per_bucket=self.slots_per_bucket,
+            hot_threshold=self.hot_threshold,
+            decay=self.decay,
+            seed=sketch_seed,
+        )
+        self.hot_table = embedding_uniform((self.num_hot_rows, dim), generator)
+        self._hot_optimizer = self._new_row_optimizer()
+        self._free_rows: list[int] = list(range(self.num_hot_rows))
+        self.migrations_in = 0
+        self.migrations_out = 0
+
+        self._init_shared_tables(generator)
+
+    # ------------------------------------------------------------------ #
+    # Shared-table hooks (overridden by the multi-level variant)
+    # ------------------------------------------------------------------ #
+    def _init_shared_tables(self, rng: np.random.Generator) -> None:
+        self.shared_table = embedding_uniform((self.num_shared_rows, self.dim), rng)
+        self._shared_optimizer = self._new_row_optimizer()
+
+    def _shared_lookup(self, flat_ids: np.ndarray) -> np.ndarray:
+        rows = hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)
+        return self.shared_table[rows]
+
+    def _shared_update(self, flat_ids: np.ndarray, grads: np.ndarray) -> None:
+        rows = hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)
+        self._shared_optimizer.update(self.shared_table, rows, grads)
+
+    def _shared_memory_floats(self) -> int:
+        return int(self.shared_table.size)
+
+    # ------------------------------------------------------------------ #
+    # Budget-driven construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_budget(
+        cls,
+        budget: MemoryBudget,
+        hot_percentage: float = 0.7,
+        hot_threshold: float | None = None,
+        slots_per_bucket: int = 4,
+        decay: float = 0.98,
+        decay_interval: int = 1000,
+        use_frequency: bool = False,
+        optimizer: str = "sgd",
+        learning_rate: float = 0.05,
+        rng: SeedLike = None,
+        **kwargs,
+    ) -> "CafeEmbedding":
+        """Split ``budget`` between sketch + exclusive rows and the shared table.
+
+        ``hot_percentage`` is the fraction of the budget spent on the sketch
+        plus the exclusive table (the paper's "hot percentage", §5.3, best at
+        around 0.7); the rest goes to the shared hash table.
+        """
+        num_hot, num_shared = cls.plan_budget(budget, hot_percentage, slots_per_bucket)
+        return cls(
+            num_features=budget.num_features,
+            dim=budget.dim,
+            num_hot_rows=num_hot,
+            num_shared_rows=num_shared,
+            hot_threshold=hot_threshold,
+            slots_per_bucket=slots_per_bucket,
+            decay=decay,
+            decay_interval=decay_interval,
+            use_frequency=use_frequency,
+            optimizer=optimizer,
+            learning_rate=learning_rate,
+            rng=rng,
+            **kwargs,
+        )
+
+    @staticmethod
+    def plan_budget(
+        budget: MemoryBudget, hot_percentage: float, slots_per_bucket: int = 4
+    ) -> tuple[int, int]:
+        """Return ``(num_hot_rows, num_shared_rows)`` for the given split."""
+        if not 0.0 < hot_percentage <= 1.0:
+            raise ValueError(f"hot_percentage must be in (0, 1], got {hot_percentage}")
+        sketch_cost = slots_per_bucket * SKETCH_ATTRIBUTES_PER_SLOT  # floats per hot row
+        hot_budget = hot_percentage * budget.total_floats
+        num_hot = max(int(hot_budget // (sketch_cost + budget.dim)), 1)
+        used_by_hot = num_hot * (sketch_cost + budget.dim)
+        remaining = max(budget.total_floats - used_by_hot, 0)
+        num_shared = max(int(remaining // budget.dim), 1)
+        return num_hot, min(num_shared, budget.num_features)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        flat_ids, _ = self._flatten(ids)
+        payloads = self.sketch.get_payloads(flat_ids)
+        hot_mask = payloads != NO_PAYLOAD
+        out = np.empty((flat_ids.shape[0], self.dim), dtype=np.float64)
+        if hot_mask.any():
+            out[hot_mask] = self.hot_table[payloads[hot_mask]]
+        if (~hot_mask).any():
+            out[~hot_mask] = self._shared_lookup(flat_ids[~hot_mask])
+        return out.reshape(ids.shape + (self.dim,))
+
+    # ------------------------------------------------------------------ #
+    # Gradient application + sketch maintenance
+    # ------------------------------------------------------------------ #
+    def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        ids = self._check_ids(ids)
+        grads = self._check_grads(ids, grads)
+        flat_ids, flat_grads = self._flatten(ids, grads)
+
+        # 1. Parameter update using the assignment that produced the forward pass.
+        payloads = self.sketch.get_payloads(flat_ids)
+        hot_mask = payloads != NO_PAYLOAD
+        if hot_mask.any():
+            self._hot_optimizer.update(self.hot_table, payloads[hot_mask], flat_grads[hot_mask])
+        if (~hot_mask).any():
+            self._shared_update(flat_ids[~hot_mask], flat_grads[~hot_mask])
+
+        # 2. Importance scores: gradient norms (or raw frequency for the ablation).
+        if self.use_frequency:
+            scores = np.ones(flat_ids.shape[0], dtype=np.float64)
+        else:
+            scores = np.linalg.norm(flat_grads, axis=1)
+
+        # 3. Sketch insertion; SpaceSaving replacement may evict hot features.
+        evictions = self.sketch.insert(flat_ids, scores)
+        if len(evictions):
+            self._release_rows(evictions.payloads)
+
+        # 4. Periodic decay, threshold adaptation and migration.
+        self._step += 1
+        if self.decay < 1.0 and self._step % self.decay_interval == 0:
+            self.sketch.apply_decay()
+        if self._step % self.rebalance_interval == 0 or self._step == 1:
+            if self.adaptive_threshold:
+                self._update_threshold()
+            self._rebalance()
+
+    # ------------------------------------------------------------------ #
+    # Migration machinery (§3.3)
+    # ------------------------------------------------------------------ #
+    def _release_rows(self, rows: np.ndarray) -> None:
+        for row in rows.tolist():
+            if row >= 0:
+                self._free_rows.append(int(row))
+                self.migrations_out += 1
+
+    def _update_threshold(self) -> None:
+        """Track the score of the ``num_hot_rows``-th hottest recorded feature.
+
+        The paper sets a threshold "meticulously ... allowing HotSketch to
+        always saturate with hot features"; tracking the k-th largest recorded
+        score (k = number of exclusive rows) keeps exactly that property while
+        following distribution changes automatically.
+        """
+        occupied = self.sketch.keys != -1
+        scores = self.sketch.scores[occupied]
+        if scores.size == 0:
+            return
+        k = min(self.num_hot_rows, scores.size)
+        kth = float(np.partition(scores, -k)[-k])
+        if kth > 0:
+            self.hot_threshold = kth
+            self.sketch.hot_threshold = kth
+
+    def _rebalance(self) -> None:
+        """Migrate features across the hot/non-hot boundary (both directions).
+
+        Demotion and promotion use a hysteresis band around the threshold so
+        features sitting exactly at the boundary do not thrash between the
+        exclusive and shared tables on every call.
+        """
+        keys = self.sketch.keys
+        scores = self.sketch.scores
+        payloads = self.sketch.payloads
+        occupied = keys != -1
+
+        # Hot -> non-hot: the slot's score fell below the demotion band
+        # (after decay or because other features overtook it).
+        demote_mask = occupied & (payloads != NO_PAYLOAD) & (scores < self.hot_threshold / self.hysteresis)
+        if demote_mask.any():
+            released = payloads[demote_mask]
+            self.sketch.payloads[demote_mask] = NO_PAYLOAD
+            self._release_rows(released)
+
+        if not self._free_rows:
+            return
+
+        # Non-hot -> hot: promote the highest-scoring candidates above the
+        # threshold into the free rows (demotion uses the lower edge of the
+        # hysteresis band, so borderline features do not bounce).
+        promote_mask = occupied & (payloads == NO_PAYLOAD) & (scores >= self.hot_threshold)
+        if not promote_mask.any():
+            return
+        buckets, slots = np.nonzero(promote_mask)
+        order = np.argsort(scores[buckets, slots])[::-1]
+        for index in order:
+            if not self._free_rows:
+                break
+            bucket, slot = int(buckets[index]), int(slots[index])
+            row = self._free_rows.pop()
+            feature = int(keys[bucket, slot])
+            self.sketch.payloads[bucket, slot] = row
+            # Initialize from the shared embedding so training stays smooth.
+            self.hot_table[row] = self._shared_lookup(np.asarray([feature]))[0]
+            self._hot_optimizer.reset_rows(np.asarray([row]))
+            self.migrations_in += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def hot_occupancy(self) -> float:
+        """Fraction of exclusive rows currently assigned to a hot feature."""
+        return 1.0 - len(self._free_rows) / self.num_hot_rows
+
+    def num_hot_features(self) -> int:
+        return self.num_hot_rows - len(self._free_rows)
+
+    def memory_floats(self) -> int:
+        return int(self.hot_table.size + self._shared_memory_floats() + self.sketch.memory_floats())
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (paper §4, "Fault Tolerance")
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {
+            "hot_table": self.hot_table.copy(),
+            "shared_table": self.shared_table.copy(),
+            "free_rows": np.asarray(self._free_rows, dtype=np.int64),
+            "hot_threshold": np.asarray(self.hot_threshold),
+            "step": np.asarray(self._step),
+        }
+        for key, value in self.sketch.state_dict().items():
+            state[f"sketch.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.hot_table = np.asarray(state["hot_table"], dtype=np.float64).copy()
+        self.shared_table = np.asarray(state["shared_table"], dtype=np.float64).copy()
+        self._free_rows = [int(r) for r in np.asarray(state["free_rows"], dtype=np.int64)]
+        self.hot_threshold = float(state["hot_threshold"])
+        self._step = int(state["step"])
+        sketch_state = {
+            key.split(".", 1)[1]: value for key, value in state.items() if key.startswith("sketch.")
+        }
+        self.sketch.load_state_dict(sketch_state)
+        self.sketch.hot_threshold = self.hot_threshold

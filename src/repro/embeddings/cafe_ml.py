@@ -1,0 +1,132 @@
+"""Multi-level CAFE (paper Section 3.4).
+
+Non-hot features are further split by importance into *medium* and *cold*
+classes.  Medium features combine two rows from two distinct hash tables
+(summation pooling), cold features read a single row from the first table, so
+a feature moving between the classes keeps its first-table row and its
+representation stays smooth — exactly the behaviour described in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.cafe import SKETCH_ATTRIBUTES_PER_SLOT, CafeEmbedding
+from repro.embeddings.memory import MemoryBudget
+from repro.nn.init import embedding_uniform
+from repro.utils.hashing import hash_to_range
+from repro.utils.rng import SeedLike
+
+
+class CafeMultiLevelEmbedding(CafeEmbedding):
+    """CAFE with a 2-level hash embedding for the non-hot features."""
+
+    def __init__(
+        self,
+        num_features: int,
+        dim: int,
+        num_hot_rows: int,
+        num_shared_rows: int,
+        num_secondary_rows: int | None = None,
+        medium_fraction: float = 0.2,
+        **kwargs,
+    ):
+        # The secondary table size must be known before the parent constructor
+        # calls ``_init_shared_tables``.
+        if num_secondary_rows is None:
+            num_secondary_rows = max(num_shared_rows // 2, 1)
+        self.num_secondary_rows = int(num_secondary_rows)
+        if not 0.0 < medium_fraction <= 1.0:
+            raise ValueError(f"medium_fraction must be in (0, 1], got {medium_fraction}")
+        self.medium_fraction = float(medium_fraction)
+        super().__init__(
+            num_features=num_features,
+            dim=dim,
+            num_hot_rows=num_hot_rows,
+            num_shared_rows=num_shared_rows,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared-table hooks
+    # ------------------------------------------------------------------ #
+    def _init_shared_tables(self, rng: np.random.Generator) -> None:
+        super()._init_shared_tables(rng)
+        self.secondary_table = embedding_uniform((self.num_secondary_rows, self.dim), rng)
+        self._secondary_optimizer = self._new_row_optimizer()
+
+    @property
+    def medium_threshold(self) -> float:
+        """Medium features have scores in ``[medium_threshold, hot_threshold)``."""
+        return self.hot_threshold * self.medium_fraction
+
+    def _medium_mask(self, flat_ids: np.ndarray) -> np.ndarray:
+        scores = self.sketch.query(flat_ids)
+        return scores >= self.medium_threshold
+
+    def _shared_lookup(self, flat_ids: np.ndarray) -> np.ndarray:
+        primary_rows = hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)
+        out = self.shared_table[primary_rows].copy()
+        medium = self._medium_mask(flat_ids)
+        if medium.any():
+            secondary_rows = hash_to_range(
+                flat_ids[medium], self.num_secondary_rows, seed=self.hash_seed + 1
+            )
+            out[medium] += self.secondary_table[secondary_rows]
+        return out
+
+    def _shared_update(self, flat_ids: np.ndarray, grads: np.ndarray) -> None:
+        primary_rows = hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)
+        self._shared_optimizer.update(self.shared_table, primary_rows, grads)
+        medium = self._medium_mask(flat_ids)
+        if medium.any():
+            secondary_rows = hash_to_range(
+                flat_ids[medium], self.num_secondary_rows, seed=self.hash_seed + 1
+            )
+            # Summation pooling: the gradient flows unchanged into both tables.
+            self._secondary_optimizer.update(self.secondary_table, secondary_rows, grads[medium])
+
+    def _shared_memory_floats(self) -> int:
+        return int(self.shared_table.size + self.secondary_table.size)
+
+    # ------------------------------------------------------------------ #
+    # Budget-driven construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_budget(
+        cls,
+        budget: MemoryBudget,
+        hot_percentage: float = 0.7,
+        secondary_share: float = 1.0 / 3.0,
+        medium_fraction: float = 0.2,
+        slots_per_bucket: int = 4,
+        **kwargs,
+    ) -> "CafeMultiLevelEmbedding":
+        """Split the non-hot budget between the primary and secondary tables."""
+        if not 0.0 < secondary_share < 1.0:
+            raise ValueError(f"secondary_share must be in (0, 1), got {secondary_share}")
+        num_hot, total_shared = CafeEmbedding.plan_budget(budget, hot_percentage, slots_per_bucket)
+        num_secondary = max(int(total_shared * secondary_share), 1)
+        num_primary = max(total_shared - num_secondary, 1)
+        return cls(
+            num_features=budget.num_features,
+            dim=budget.dim,
+            num_hot_rows=num_hot,
+            num_shared_rows=num_primary,
+            num_secondary_rows=num_secondary,
+            medium_fraction=medium_fraction,
+            slots_per_bucket=slots_per_bucket,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["secondary_table"] = self.secondary_table.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self.secondary_table = np.asarray(state["secondary_table"], dtype=np.float64).copy()

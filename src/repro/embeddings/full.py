@@ -1,0 +1,40 @@
+"""Uncompressed embedding table — the "ideal" upper baseline in the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import TableBackedEmbedding
+from repro.nn.init import embedding_uniform
+from repro.utils.rng import SeedLike, make_rng
+
+
+class FullEmbedding(TableBackedEmbedding):
+    """One exclusive embedding row per feature (no compression)."""
+
+    def __init__(
+        self,
+        num_features: int,
+        dim: int,
+        optimizer: str = "sgd",
+        learning_rate: float = 0.05,
+        rng: SeedLike = None,
+    ):
+        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        generator = make_rng(rng)
+        self.table = embedding_uniform((num_features, dim), generator)
+        self._optimizer = self._new_row_optimizer()
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        return self.table[ids]
+
+    def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        ids = self._check_ids(ids)
+        grads = self._check_grads(ids, grads)
+        flat_ids, flat_grads = self._flatten(ids, grads)
+        self._optimizer.update(self.table, flat_ids, flat_grads)
+        self._step += 1
+
+    def memory_floats(self) -> int:
+        return int(self.table.size)

@@ -1,0 +1,79 @@
+"""Hash-trick embedding (Weinberger et al., 2009) — the simplest baseline.
+
+All features are mapped by one hash function into a table with fewer rows
+than features; collisions make unrelated features share (and jointly update)
+the same embedding vector, which is the source of the accuracy loss the paper
+quantifies (§1.2, "Hash-based methods").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import TableBackedEmbedding
+from repro.embeddings.memory import MemoryBudget
+from repro.nn.init import embedding_uniform
+from repro.utils.hashing import hash_to_range
+from repro.utils.rng import SeedLike, make_rng
+
+
+class HashEmbedding(TableBackedEmbedding):
+    """Single-hash shared embedding table."""
+
+    def __init__(
+        self,
+        num_features: int,
+        dim: int,
+        num_rows: int,
+        optimizer: str = "sgd",
+        learning_rate: float = 0.05,
+        hash_seed: int = 17,
+        rng: SeedLike = None,
+    ):
+        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {num_rows}")
+        generator = make_rng(rng)
+        self.num_rows = int(min(num_rows, num_features))
+        self.hash_seed = int(hash_seed)
+        self.table = embedding_uniform((self.num_rows, dim), generator)
+        self._optimizer = self._new_row_optimizer()
+
+    @classmethod
+    def from_budget(
+        cls,
+        budget: MemoryBudget,
+        optimizer: str = "sgd",
+        learning_rate: float = 0.05,
+        hash_seed: int = 17,
+        rng: SeedLike = None,
+    ) -> "HashEmbedding":
+        """Size the table so that its memory fits ``budget`` exactly."""
+        rows = budget.rows()
+        return cls(
+            num_features=budget.num_features,
+            dim=budget.dim,
+            num_rows=rows,
+            optimizer=optimizer,
+            learning_rate=learning_rate,
+            hash_seed=hash_seed,
+            rng=rng,
+        )
+
+    def _rows_for(self, ids: np.ndarray) -> np.ndarray:
+        return hash_to_range(ids, self.num_rows, seed=self.hash_seed)
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        return self.table[self._rows_for(ids)]
+
+    def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        ids = self._check_ids(ids)
+        grads = self._check_grads(ids, grads)
+        flat_ids, flat_grads = self._flatten(ids, grads)
+        rows = self._rows_for(flat_ids)
+        self._optimizer.update(self.table, rows, flat_grads)
+        self._step += 1
+
+    def memory_floats(self) -> int:
+        return int(self.table.size)

@@ -1,0 +1,94 @@
+"""Memory budgeting shared by all compression methods.
+
+The paper frames compression as an optimization under a memory constraint
+``M(E*) ≤ M`` (Equation 2) and reports results against the *compression
+ratio* ``CR = M(E) / M(E*)``.  This module turns a requested compression
+ratio into a float32-parameter budget and provides the arithmetic each method
+uses to size its internal tables, raising :class:`MemoryBudgetError` when a
+method's structural floor makes the budget unreachable (e.g. AdaEmbed's
+per-feature score array or the Q-R trick's complementary tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryBudgetError
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A memory budget for one embedding layer.
+
+    Attributes
+    ----------
+    num_features:
+        Total number of unique categorical features (``n`` in the paper).
+    dim:
+        Embedding dimension (``d``).
+    total_floats:
+        Budget in float32-equivalent parameters (``M``).
+    """
+
+    num_features: int
+    dim: int
+    total_floats: int
+
+    @classmethod
+    def from_compression_ratio(cls, num_features: int, dim: int, compression_ratio: float) -> "MemoryBudget":
+        if compression_ratio < 1:
+            raise ValueError(f"compression ratio must be ≥ 1, got {compression_ratio}")
+        uncompressed = num_features * dim
+        budget = int(uncompressed / compression_ratio)
+        if budget < dim:
+            # Any method needs at least one embedding row to function.
+            budget = dim
+        return cls(num_features=num_features, dim=dim, total_floats=budget)
+
+    @property
+    def uncompressed_floats(self) -> int:
+        return self.num_features * self.dim
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.uncompressed_floats / max(self.total_floats, 1)
+
+    def rows(self, overhead_floats: int = 0) -> int:
+        """How many ``dim``-wide rows fit after subtracting ``overhead_floats``."""
+        available = self.total_floats - overhead_floats
+        if available < self.dim:
+            raise MemoryBudgetError(
+                f"memory budget of {self.total_floats} floats cannot hold a single "
+                f"{self.dim}-dim embedding row after {overhead_floats} floats of overhead"
+            )
+        return available // self.dim
+
+    def require(self, needed_floats: int, reason: str) -> None:
+        """Raise if the budget cannot cover ``needed_floats``."""
+        if needed_floats > self.total_floats:
+            raise MemoryBudgetError(
+                f"{reason}: needs {needed_floats} floats but the budget is {self.total_floats} "
+                f"(CR {self.compression_ratio:.0f}x)"
+            )
+
+
+def max_compression_ratio_qr(num_features: int, dim: int) -> float:
+    """The structural ceiling of the Q-R trick's compression ratio.
+
+    The two complementary tables must jointly cover all features, so the
+    smallest possible memory is ``2 * sqrt(n) * d`` — matching the paper's
+    observation that Q-R "can only compress to around 500×" on Criteo.
+    """
+    import math
+
+    min_rows = 2 * math.ceil(math.sqrt(num_features))
+    return (num_features * dim) / (min_rows * dim)
+
+
+def max_compression_ratio_adaembed(num_features: int, dim: int, min_rows: int = 1) -> float:
+    """The structural ceiling of AdaEmbed's compression ratio.
+
+    AdaEmbed stores one importance score per feature regardless of how few
+    embedding rows it keeps, so its memory floor is ``n + min_rows * d``.
+    """
+    return (num_features * dim) / (num_features + min_rows * dim)

@@ -1,0 +1,23 @@
+"""Library-wide exception types."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with inconsistent parameters."""
+
+
+class MemoryBudgetError(ConfigurationError):
+    """Raised when an embedding method cannot satisfy a memory budget.
+
+    The paper notes that some baselines have hard floors on how far they can
+    compress (AdaEmbed stores a score per feature, the Q-R trick needs at
+    least the square root of the cardinality, MDE needs one dimension per
+    feature).  Those limits surface as this exception.
+    """
+
+
+class DataError(ReproError):
+    """Raised for malformed or inconsistent dataset inputs."""

@@ -1,0 +1,32 @@
+"""Experiment runners reproducing every table and figure of the paper."""
+
+from repro.experiments.common import (
+    SCALES,
+    ScaleSpec,
+    averaged_rows,
+    build_dataset,
+    build_embedding,
+    build_model,
+    compare_methods,
+    run_single,
+)
+from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, list_experiments, run_experiment
+from repro.experiments.reporting import ExperimentResult, format_table, print_result
+
+__all__ = [
+    "SCALES",
+    "ScaleSpec",
+    "build_dataset",
+    "build_embedding",
+    "build_model",
+    "run_single",
+    "compare_methods",
+    "averaged_rows",
+    "ExperimentResult",
+    "format_table",
+    "print_result",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "list_experiments",
+    "run_experiment",
+]

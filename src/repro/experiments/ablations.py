@@ -1,0 +1,109 @@
+"""Ablations of CAFE's design choices beyond the paper's Figure 15.
+
+The paper motivates several design decisions that Figure 15 only partially
+quantifies.  These runners isolate them end to end on the Criteo preset:
+
+* ``slots-per-bucket`` — Corollary 3.5 predicts an optimum trade-off between
+  few large buckets and many small ones at fixed sketch memory; Figure 18(a)
+  measures it on raw streams, this ablation measures its end-to-end effect on
+  model quality.
+* ``migration`` — disabling demotion/eviction handling reduces CAFE to a
+  "first features to cross the threshold keep their rows forever" scheme,
+  quantifying how much the adaptive migration of §3.3 actually contributes.
+* ``decay`` — with no score decay the sketch never forgets, which hurts under
+  distribution drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.drift import RotatingDrift
+from repro.experiments.common import build_dataset, get_scale, run_single
+from repro.experiments.reporting import ExperimentResult
+
+
+def run_ablation_slots_per_bucket(
+    scale: str = "tiny",
+    seeds: tuple[int, ...] = (0,),
+    compression_ratio: float = 50.0,
+    slots_options: tuple[int, ...] = (1, 2, 4, 8),
+) -> ExperimentResult:
+    """End-to-end model quality as a function of HotSketch's slots per bucket."""
+    result = ExperimentResult(
+        experiment_id="ablation_slots",
+        title="CAFE ablation: HotSketch slots per bucket (fixed sketch memory)",
+    )
+    dataset = build_dataset("criteo", scale=scale, seed=seeds[0])
+    for slots in slots_options:
+        losses, aucs = [], []
+        for seed in seeds:
+            outcome = run_single(
+                dataset,
+                "cafe",
+                compression_ratio,
+                scale=scale,
+                seed=seed,
+                embedding_kwargs={"slots_per_bucket": slots},
+            )
+            losses.append(outcome.train_loss)
+            aucs.append(outcome.test_auc)
+        result.add_row(
+            slots_per_bucket=slots,
+            train_loss=round(float(np.mean(losses)), 4),
+            test_auc=round(float(np.mean(aucs)), 4),
+        )
+    result.add_note("the paper adopts 4 slots per bucket as the recall/throughput sweet spot (§5.6)")
+    return result
+
+
+def run_ablation_adaptivity(
+    scale: str = "tiny",
+    seeds: tuple[int, ...] = (0,),
+    compression_ratio: float = 50.0,
+    drift_swap_fraction: float = 0.15,
+) -> ExperimentResult:
+    """Contribution of migration and decay under strong distribution drift."""
+    result = ExperimentResult(
+        experiment_id="ablation_adaptivity",
+        title="CAFE ablation: migration and decay under distribution drift",
+    )
+    spec = get_scale(scale)
+    drift = RotatingDrift(swap_fraction=drift_swap_fraction, seed=seeds[0] + 1)
+    dataset = build_dataset("criteo", scale=scale, seed=seeds[0], drift=drift)
+
+    variants = {
+        # Full CAFE: adaptive threshold, frequent rebalance, decaying scores.
+        "cafe": {},
+        # No decay: scores accumulate forever, old hot features never fade.
+        "cafe_no_decay": {"decay": 1.0},
+        # Frozen assignment: an absurdly long rebalance interval means features
+        # that grab exclusive rows early keep them regardless of later drift.
+        "cafe_no_migration": {"rebalance_interval": 10_000_000, "hot_threshold": 1.0},
+        # Static hash baseline for reference.
+        "hash": None,
+    }
+    for name, kwargs in variants.items():
+        method = "hash" if kwargs is None else "cafe"
+        losses, aucs = [], []
+        for seed in seeds:
+            outcome = run_single(
+                dataset,
+                method,
+                compression_ratio,
+                scale=scale,
+                seed=seed,
+                embedding_kwargs=kwargs or {},
+            )
+            losses.append(outcome.train_loss)
+            aucs.append(outcome.test_auc)
+        result.add_row(
+            variant=name,
+            train_loss=round(float(np.mean(losses)), 4),
+            test_auc=round(float(np.mean(aucs)), 4),
+        )
+    result.add_note(
+        f"stream uses an amplified drift (swap fraction {drift_swap_fraction}); "
+        f"{spec.samples_per_day} samples/day"
+    )
+    return result

@@ -1,0 +1,306 @@
+"""Shared infrastructure for the per-figure experiment runners.
+
+Every end-to-end experiment follows the same recipe: build a scaled synthetic
+dataset preset, construct an embedding method at a target compression ratio,
+train one chronological epoch, and record the online metric (average training
+loss) and the offline metric (testing AUC on the last day).  This module owns
+that recipe so the individual runners contain only the sweep logic specific
+to their figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import DatasetSchema, make_preset
+from repro.data.synthetic import SyntheticConfig, SyntheticCTRDataset
+from repro.embeddings import create_embedding
+from repro.embeddings.base import CompressedEmbedding
+from repro.errors import MemoryBudgetError
+from repro.models import create_model
+from repro.models.base import RecommendationModel
+from repro.training.config import TrainingConfig
+from repro.training.trainer import TrainingHistory, train_and_evaluate
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """Workload size of an experiment run.
+
+    ``tiny`` keeps benchmark/CI runtimes in seconds; ``small`` is the default
+    for interactive use; ``medium`` gives smoother curves at a few minutes per
+    configuration.
+    """
+
+    name: str
+    base_cardinality: int
+    samples_per_day: int
+    batch_size: int
+    test_samples: int
+    max_days: int | None = None
+
+
+SCALES: dict[str, ScaleSpec] = {
+    "tiny": ScaleSpec(
+        "tiny", base_cardinality=300, samples_per_day=3000, batch_size=128, test_samples=2048, max_days=6
+    ),
+    "small": ScaleSpec(
+        "small", base_cardinality=800, samples_per_day=6000, batch_size=256, test_samples=4096, max_days=10
+    ),
+    "medium": ScaleSpec(
+        "medium", base_cardinality=3000, samples_per_day=20000, batch_size=512, test_samples=8192, max_days=None
+    ),
+}
+
+
+def get_scale(scale: str | ScaleSpec) -> ScaleSpec:
+    if isinstance(scale, ScaleSpec):
+        return scale
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale '{scale}'; expected one of {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+def build_dataset(
+    dataset_name: str,
+    scale: str | ScaleSpec = "tiny",
+    seed: int = 0,
+    num_days: int | None = None,
+    drift=None,
+) -> SyntheticCTRDataset:
+    """Create the scaled synthetic preset for one of the paper's datasets.
+
+    ``num_days`` overrides the preset's day count; otherwise the scale's
+    ``max_days`` caps it so that the larger presets (CriteoTB has 24 days)
+    stay affordable at benchmark scale.
+    """
+    spec = get_scale(scale)
+    schema = make_preset(dataset_name, base_cardinality=spec.base_cardinality, seed=seed)
+    if num_days is not None:
+        schema.num_days = num_days
+    elif spec.max_days is not None:
+        schema.num_days = min(schema.num_days, spec.max_days)
+    config = SyntheticConfig(samples_per_day=spec.samples_per_day, seed=seed)
+    return SyntheticCTRDataset(schema, config=config, drift=drift)
+
+
+def build_embedding(
+    method: str,
+    dataset: SyntheticCTRDataset,
+    compression_ratio: float,
+    seed: int = 0,
+    optimizer: str = "adagrad",
+    learning_rate: float = 0.1,
+    **kwargs,
+) -> CompressedEmbedding:
+    """Instantiate an embedding method for ``dataset`` at a compression ratio.
+
+    Methods that need side information receive it automatically: MDE gets the
+    field cardinalities, the offline-separation oracle gets the exact
+    training-stream frequencies.
+    """
+    schema = dataset.schema
+    extra = dict(kwargs)
+    if method == "offline" and "frequencies" not in extra:
+        extra["frequencies"] = dataset.feature_frequencies()
+    return create_embedding(
+        method,
+        num_features=schema.num_features,
+        dim=schema.embedding_dim,
+        compression_ratio=compression_ratio,
+        field_cardinalities=schema.field_cardinalities,
+        optimizer=optimizer,
+        learning_rate=learning_rate,
+        rng=np.random.default_rng(seed + 13),
+        **extra,
+    )
+
+
+def build_model(
+    model_name: str,
+    embedding: CompressedEmbedding,
+    schema: DatasetSchema,
+    seed: int = 0,
+) -> RecommendationModel:
+    return create_model(
+        model_name,
+        embedding,
+        num_fields=schema.num_fields,
+        num_numerical=schema.num_numerical,
+        rng=np.random.default_rng(seed + 17),
+    )
+
+
+@dataclass
+class RunOutcome:
+    """Metrics of one (method, compression ratio, model, dataset) run."""
+
+    method: str
+    compression_ratio: float
+    achieved_ratio: float
+    train_loss: float
+    test_auc: float
+    test_log_loss: float
+    history: TrainingHistory
+    feasible: bool = True
+    failure_reason: str = ""
+
+    def as_row(self) -> dict:
+        return {
+            "method": self.method,
+            "compression_ratio": self.compression_ratio,
+            "achieved_ratio": round(self.achieved_ratio, 1),
+            "train_loss": round(self.train_loss, 4),
+            "test_auc": round(self.test_auc, 4),
+            "test_log_loss": round(self.test_log_loss, 4),
+            "feasible": self.feasible,
+        }
+
+
+def run_single(
+    dataset: SyntheticCTRDataset,
+    method: str,
+    compression_ratio: float,
+    model_name: str = "dlrm",
+    scale: str | ScaleSpec = "tiny",
+    seed: int = 0,
+    eval_every: int | None = None,
+    embedding_kwargs: dict | None = None,
+) -> RunOutcome:
+    """Train one configuration end to end; infeasible budgets are reported,
+    not raised, because the paper's figures simply omit those points."""
+    spec = get_scale(scale)
+    config = TrainingConfig(batch_size=spec.batch_size, seed=seed)
+    try:
+        embedding = build_embedding(
+            method,
+            dataset,
+            compression_ratio,
+            seed=seed,
+            optimizer=config.sparse_optimizer,
+            learning_rate=config.sparse_learning_rate,
+            **(embedding_kwargs or {}),
+        )
+    except MemoryBudgetError as exc:
+        logger.info("%s infeasible at CR %.0fx: %s", method, compression_ratio, exc)
+        return RunOutcome(
+            method=method,
+            compression_ratio=compression_ratio,
+            achieved_ratio=float("nan"),
+            train_loss=float("nan"),
+            test_auc=float("nan"),
+            test_log_loss=float("nan"),
+            history=TrainingHistory(),
+            feasible=False,
+            failure_reason=str(exc),
+        )
+    model = build_model(model_name, embedding, dataset.schema, seed=seed)
+    stream = dataset.training_stream(spec.batch_size)
+    test_batch = dataset.test_batch(num_samples=spec.test_samples)
+    results = train_and_evaluate(model, stream, test_batch, config=config, eval_every=eval_every)
+    return RunOutcome(
+        method=method,
+        compression_ratio=compression_ratio,
+        achieved_ratio=embedding.compression_ratio(),
+        train_loss=results["train_loss"],
+        test_auc=results["test_auc"],
+        test_log_loss=results["test_log_loss"],
+        history=results["history"],
+    )
+
+
+def compare_methods(
+    dataset: SyntheticCTRDataset,
+    methods: list[str],
+    compression_ratios: list[float],
+    model_name: str = "dlrm",
+    scale: str | ScaleSpec = "tiny",
+    seed: int = 0,
+    eval_every: int | None = None,
+) -> list[RunOutcome]:
+    """Sweep methods × compression ratios (the generic figure-8-style grid)."""
+    outcomes = []
+    for method in methods:
+        for ratio in compression_ratios:
+            if method == "full" and ratio != 1.0:
+                continue
+            outcomes.append(
+                run_single(
+                    dataset,
+                    method,
+                    ratio,
+                    model_name=model_name,
+                    scale=scale,
+                    seed=seed,
+                    eval_every=eval_every,
+                )
+            )
+    return outcomes
+
+
+def averaged_rows(
+    dataset: SyntheticCTRDataset,
+    methods: list[str],
+    compression_ratios: list[float],
+    model_name: str = "dlrm",
+    scale: str | ScaleSpec = "tiny",
+    seeds: tuple[int, ...] = (0,),
+    eval_every: int | None = None,
+) -> list[dict]:
+    """Run the method × CR grid for several seeds and average the metrics.
+
+    The paper's curves are single training runs on very large datasets; at the
+    reduced scale of this reproduction a small amount of seed averaging is the
+    cheapest way to recover comparable stability.  Rows for infeasible
+    configurations (e.g. AdaEmbed beyond its memory floor) are kept with
+    ``feasible=False`` so the tables show the same gaps the paper reports.
+    """
+    grouped: dict[tuple[str, float], list[RunOutcome]] = {}
+    for seed in seeds:
+        for outcome in compare_methods(
+            dataset,
+            methods,
+            compression_ratios,
+            model_name=model_name,
+            scale=scale,
+            seed=seed,
+            eval_every=eval_every,
+        ):
+            grouped.setdefault((outcome.method, outcome.compression_ratio), []).append(outcome)
+
+    rows = []
+    for (method, ratio), outcomes in grouped.items():
+        feasible = [o for o in outcomes if o.feasible]
+        if feasible:
+            rows.append(
+                {
+                    "method": method,
+                    "compression_ratio": ratio,
+                    "achieved_ratio": round(float(np.mean([o.achieved_ratio for o in feasible])), 1),
+                    "train_loss": round(float(np.mean([o.train_loss for o in feasible])), 4),
+                    "test_auc": round(float(np.mean([o.test_auc for o in feasible])), 4),
+                    "test_log_loss": round(float(np.mean([o.test_log_loss for o in feasible])), 4),
+                    "feasible": True,
+                    "num_seeds": len(feasible),
+                }
+            )
+        else:
+            rows.append(
+                {
+                    "method": method,
+                    "compression_ratio": ratio,
+                    "achieved_ratio": float("nan"),
+                    "train_loss": float("nan"),
+                    "test_auc": float("nan"),
+                    "test_log_loss": float("nan"),
+                    "feasible": False,
+                    "num_seeds": 0,
+                }
+            )
+    rows.sort(key=lambda r: (r["method"], r["compression_ratio"]))
+    return rows

@@ -1,0 +1,150 @@
+"""Distribution-shift experiments: Figure 2 and Figure 17.
+
+Figure 2 plots, for Avazu / Criteo / CriteoTB, the KL divergence between the
+feature distributions of every pair of days; divergence grows with the number
+of days between the two distributions.  Figure 17 trains on CriteoTB-1/3 — a
+version of CriteoTB keeping every third day — whose larger day-to-day shift
+stresses the adaptive methods (CAFE, AdaEmbed) against the static ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.stats import kl_divergence_matrix
+from repro.experiments.common import averaged_rows, build_dataset, get_scale, run_single
+from repro.experiments.reporting import ExperimentResult
+
+
+def run_fig2_kl_divergence(
+    scale: str = "tiny",
+    seed: int = 0,
+    datasets: tuple[str, ...] = ("avazu", "criteo", "criteotb"),
+    max_days: int = 8,
+) -> ExperimentResult:
+    """KL-divergence heatmaps between per-day feature distributions."""
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title="KL divergence between distributions on each day",
+    )
+    for name in datasets:
+        dataset = build_dataset(name, scale=scale, seed=seed)
+        days = min(dataset.num_days, max_days)
+        dataset.schema.num_days = days
+        histograms = dataset.day_histograms()
+        matrix = kl_divergence_matrix(histograms)
+        result.extras[f"{name}_kl_matrix"] = matrix
+        for i in range(days):
+            for j in range(days):
+                if i != j:
+                    result.add_row(dataset=name, day_i=i, day_j=j, kl=round(float(matrix[i, j]), 4))
+        # Summary statistic the figure conveys: KL grows with the day gap.
+        gaps = {}
+        for i in range(days):
+            for j in range(days):
+                if i != j:
+                    gaps.setdefault(abs(i - j), []).append(matrix[i, j])
+        mean_by_gap = {gap: float(np.mean(values)) for gap, values in gaps.items()}
+        result.extras[f"{name}_mean_kl_by_gap"] = mean_by_gap
+        result.add_note(
+            f"{name}: mean KL for adjacent days {mean_by_gap.get(1, float('nan')):.4f}, "
+            f"for the largest gap {mean_by_gap.get(days - 1, float('nan')):.4f}"
+        )
+    return result
+
+
+def run_fig17_drift_shift(
+    scale: str = "tiny",
+    seeds: tuple[int, ...] = (0,),
+    methods: tuple[str, ...] = ("hash", "cafe", "adaembed"),
+    compression_ratios: tuple[float, ...] = (5.0, 10.0, 50.0),
+    iteration_ratio: float = 50.0,
+) -> ExperimentResult:
+    """CriteoTB-1/3: keep every third day to amplify distribution shift."""
+    result = ExperimentResult(
+        experiment_id="fig17",
+        title="Experiments on CriteoTB-1/3 (stronger distribution shift)",
+    )
+    dataset = build_dataset("criteotb", scale=scale, seed=seeds[0])
+    # Keep days 0, 3, 6, ... plus the original last day as the test day,
+    # mirroring the paper's "days 1,4,7,...,22 + unchanged test data".
+    subsampled = list(range(0, dataset.num_days - 1, 3))
+    full_days = dataset.schema.num_days
+    spec = get_scale(scale)
+
+    for method in methods:
+        for ratio in compression_ratios:
+            losses, aucs, feasible = [], [], True
+            history = None
+            for seed in seeds:
+                outcome = _run_on_days(dataset, method, ratio, subsampled, scale, seed)
+                if not outcome.feasible:
+                    feasible = False
+                    break
+                losses.append(outcome.train_loss)
+                aucs.append(outcome.test_auc)
+                history = outcome.history
+            if not feasible:
+                result.add_row(method=method, compression_ratio=ratio, feasible=False)
+                continue
+            result.add_row(
+                method=method,
+                compression_ratio=ratio,
+                train_loss=round(float(np.mean(losses)), 4),
+                test_auc=round(float(np.mean(aucs)), 4),
+                feasible=True,
+            )
+            if ratio == iteration_ratio and history is not None:
+                result.extras[f"{method}_loss_curve"] = history.smoothed_losses(window=10)
+    result.add_note(
+        f"training days subsampled 1-in-3 from {full_days} days; test day unchanged "
+        f"({spec.samples_per_day} samples/day)"
+    )
+    return result
+
+
+def _run_on_days(dataset, method, ratio, days, scale, seed):
+    """Run one configuration with a restricted list of training days."""
+    from repro.experiments.common import ScaleSpec, build_embedding, build_model
+    from repro.errors import MemoryBudgetError
+    from repro.training.config import TrainingConfig
+    from repro.training.trainer import train_and_evaluate
+    from repro.experiments.common import RunOutcome
+    from repro.training.trainer import TrainingHistory
+
+    spec = get_scale(scale)
+    config = TrainingConfig(batch_size=spec.batch_size, seed=seed)
+    try:
+        embedding = build_embedding(
+            method,
+            dataset,
+            ratio,
+            seed=seed,
+            optimizer=config.sparse_optimizer,
+            learning_rate=config.sparse_learning_rate,
+        )
+    except MemoryBudgetError as exc:
+        return RunOutcome(
+            method=method,
+            compression_ratio=ratio,
+            achieved_ratio=float("nan"),
+            train_loss=float("nan"),
+            test_auc=float("nan"),
+            test_log_loss=float("nan"),
+            history=TrainingHistory(),
+            feasible=False,
+            failure_reason=str(exc),
+        )
+    model = build_model("dlrm", embedding, dataset.schema, seed=seed)
+    stream = dataset.training_stream(spec.batch_size, days=days)
+    test_batch = dataset.test_batch(num_samples=spec.test_samples)
+    results = train_and_evaluate(model, stream, test_batch, config=config)
+    return RunOutcome(
+        method=method,
+        compression_ratio=ratio,
+        achieved_ratio=embedding.compression_ratio(),
+        train_loss=results["train_loss"],
+        test_auc=results["test_auc"],
+        test_log_loss=results["test_log_loss"],
+        history=results["history"],
+    )

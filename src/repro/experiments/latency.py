@@ -1,0 +1,54 @@
+"""Figure 13 — latency and throughput of each method (CriteoTB preset, 10×).
+
+The paper times one training step (batch 2048) and one inference pass (batch
+16384) per method; data loading and the dense network are identical across
+methods so the differences isolate the embedding layer.  The reproduction
+uses proportionally smaller batches but reports the same rows: per-method
+training / inference latency and throughput.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import build_dataset, build_embedding, build_model, get_scale
+from repro.experiments.reporting import ExperimentResult
+from repro.training.latency import measure_latency
+
+
+def run_fig13_latency_throughput(
+    scale: str = "tiny",
+    seed: int = 0,
+    methods: tuple[str, ...] = ("hash", "qr", "mde", "adaembed", "cafe"),
+    compression_ratio: float = 10.0,
+    train_batch_size: int | None = None,
+    inference_batch_size: int | None = None,
+    repeats: int = 5,
+) -> ExperimentResult:
+    """Measure per-method training and inference latency / throughput."""
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Latency and throughput on CriteoTB (10x)",
+    )
+    spec = get_scale(scale)
+    train_batch_size = train_batch_size or spec.batch_size
+    inference_batch_size = inference_batch_size or spec.batch_size * 8
+
+    dataset = build_dataset("criteotb", scale=scale, seed=seed)
+    train_batch = dataset.generate_day(0, num_samples=train_batch_size)
+    inference_batch = dataset.generate_day(0, num_samples=inference_batch_size, seed_offset=7)
+
+    for method in methods:
+        try:
+            embedding = build_embedding(method, dataset, compression_ratio, seed=seed)
+        except Exception as exc:  # infeasible method at this ratio
+            result.add_row(method=method, feasible=False, reason=str(exc)[:60])
+            continue
+        model = build_model("dlrm", embedding, dataset.schema, seed=seed)
+        report = measure_latency(
+            model, train_batch, inference_batch, method_name=method, repeats=repeats
+        )
+        result.add_row(feasible=True, **report.as_row())
+    result.add_note(
+        "expected shape: Hash fastest, Q-R and MDE close behind, CAFE adds sketch maintenance, "
+        "AdaEmbed slowest in training due to its reallocation pass"
+    )
+    return result

@@ -1,0 +1,103 @@
+"""Registry mapping every paper table / figure to its experiment runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.ablations import (
+    run_ablation_adaptivity,
+    run_ablation_slots_per_bucket,
+)
+from repro.experiments.drift import run_fig2_kl_divergence, run_fig17_drift_shift
+from repro.experiments.end_to_end import (
+    run_fig8_metrics_vs_cr,
+    run_fig9_metrics_vs_iterations,
+    run_fig10_kdd12_avazu,
+    run_fig11_wdl_dcn,
+)
+from repro.experiments.hotsketch_eval import (
+    run_fig3_gradient_zipf,
+    run_fig7_probability_grid,
+    run_fig18_hotsketch,
+)
+from repro.experiments.latency import run_fig13_latency_throughput
+from repro.experiments.mde_compare import run_fig12_mde
+from repro.experiments.multilevel import run_fig16_multilevel
+from repro.experiments.offline_compare import run_fig14_offline_separation
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.sensitivity import run_fig15_sensitivity
+from repro.experiments.tables import run_table2
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One entry of the experiment registry."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[..., ExperimentResult]
+    paper_reference: str
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in [
+        ExperimentSpec("table2", "Dataset statistics", run_table2, "Table 2"),
+        ExperimentSpec("fig2", "KL divergence between days", run_fig2_kl_divergence, "Figure 2"),
+        ExperimentSpec("fig3", "Gradient norms vs Zipf", run_fig3_gradient_zipf, "Figure 3"),
+        ExperimentSpec("fig7", "HotSketch probability bound", run_fig7_probability_grid, "Figure 7"),
+        ExperimentSpec("fig8", "Metrics vs compression ratio", run_fig8_metrics_vs_cr, "Figure 8"),
+        ExperimentSpec("fig9", "Metrics vs iterations", run_fig9_metrics_vs_iterations, "Figure 9"),
+        ExperimentSpec("fig10", "KDD12 and Avazu", run_fig10_kdd12_avazu, "Figure 10"),
+        ExperimentSpec("fig11", "WDL and DCN on CriteoTB", run_fig11_wdl_dcn, "Figure 11"),
+        ExperimentSpec("fig12", "Comparison with MDE", run_fig12_mde, "Figure 12"),
+        ExperimentSpec("fig13", "Latency and throughput", run_fig13_latency_throughput, "Figure 13"),
+        ExperimentSpec("fig14", "CAFE vs offline separation", run_fig14_offline_separation, "Figure 14"),
+        ExperimentSpec("fig15", "Configuration sensitivity", run_fig15_sensitivity, "Figure 15"),
+        ExperimentSpec("fig16", "Multi-level hash embedding", run_fig16_multilevel, "Figure 16"),
+        ExperimentSpec("fig17", "CriteoTB-1/3 drift", run_fig17_drift_shift, "Figure 17"),
+        ExperimentSpec("fig18", "HotSketch performance", run_fig18_hotsketch, "Figure 18"),
+    ]
+}
+
+
+#: Additional ablations that go beyond the paper's own figures (see
+#: ``repro.experiments.ablations``).  They are kept separate from
+#: :data:`EXPERIMENTS` so the latter maps one-to-one onto paper artifacts.
+ABLATIONS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in [
+        ExperimentSpec(
+            "ablation_slots",
+            "HotSketch slots-per-bucket (end-to-end)",
+            run_ablation_slots_per_bucket,
+            "Corollary 3.5 / Figure 18(a)",
+        ),
+        ExperimentSpec(
+            "ablation_adaptivity",
+            "Migration and decay under drift",
+            run_ablation_adaptivity,
+            "Section 3.3",
+        ),
+    ]
+}
+
+
+def list_experiments(include_ablations: bool = False) -> list[str]:
+    """Identifiers of all registered experiments, in paper order."""
+    ids = list(EXPERIMENTS)
+    if include_ablations:
+        ids += list(ABLATIONS)
+    return ids
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment or ablation by id (e.g. ``"fig8"``)."""
+    if experiment_id in EXPERIMENTS:
+        return EXPERIMENTS[experiment_id].runner(**kwargs)
+    if experiment_id in ABLATIONS:
+        return ABLATIONS[experiment_id].runner(**kwargs)
+    raise KeyError(
+        f"unknown experiment '{experiment_id}'; available: {list_experiments(include_ablations=True)}"
+    )

@@ -1,0 +1,91 @@
+"""Base class shared by the DLRM / WDL / DCN recommendation models.
+
+A model owns (a) a compressed embedding layer (any
+:class:`repro.embeddings.CompressedEmbedding`) and (b) a dense network built
+from :mod:`repro.nn` modules.  The training loop drives them through
+:meth:`RecommendationModel.forward`, which returns both the logits tensor and
+the leaf embedding tensor so that, after ``loss.backward()``, the per-lookup
+gradient (the quantity CAFE scores features by) can be handed back to the
+embedding layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import CompressedEmbedding
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class RecommendationModel(Module):
+    """Common scaffolding: embedding lookup + dense forward."""
+
+    def __init__(self, embedding: CompressedEmbedding, num_fields: int, num_numerical: int):
+        if num_fields <= 0:
+            raise ValueError(f"num_fields must be positive, got {num_fields}")
+        if num_numerical < 0:
+            raise ValueError(f"num_numerical must be non-negative, got {num_numerical}")
+        self.embedding = embedding
+        self.num_fields = int(num_fields)
+        self.num_numerical = int(num_numerical)
+        self.dim = embedding.dim
+
+    # ------------------------------------------------------------------ #
+    # Dense part (implemented by subclasses)
+    # ------------------------------------------------------------------ #
+    def forward_dense(self, embeddings: Tensor, numerical: np.ndarray) -> Tensor:
+        """Map ``(batch, fields, dim)`` embeddings + numerical features to logits."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # ------------------------------------------------------------------ #
+    # Full forward pass
+    # ------------------------------------------------------------------ #
+    def forward(self, categorical: np.ndarray, numerical: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        """Return ``(logits, embedding_leaf)``.
+
+        ``categorical`` holds global feature ids of shape ``(batch, fields)``;
+        ``numerical`` holds dense features of shape ``(batch, num_numerical)``
+        (may be ``None``/empty when the dataset has no numerical fields).
+        The embedding leaf is a ``requires_grad`` tensor wrapping the looked-up
+        vectors; after backward its ``grad`` is passed to
+        ``embedding.apply_gradients``.
+        """
+        categorical = np.asarray(categorical, dtype=np.int64)
+        if categorical.ndim != 2 or categorical.shape[1] != self.num_fields:
+            raise ValueError(
+                f"categorical input must have shape (batch, {self.num_fields}), got {categorical.shape}"
+            )
+        numerical = self._check_numerical(numerical, categorical.shape[0])
+        vectors = self.embedding.lookup(categorical)
+        leaf = Tensor(vectors, requires_grad=True, name="embedding_leaf")
+        logits = self.forward_dense(leaf, numerical)
+        return logits, leaf
+
+    def predict_proba(self, categorical: np.ndarray, numerical: np.ndarray | None = None) -> np.ndarray:
+        """Click probabilities for a batch (no gradient bookkeeping)."""
+        logits, _ = self.forward(categorical, numerical)
+        z = logits.data.reshape(-1)
+        out = np.empty_like(z)
+        positive = z >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+        exp_z = np.exp(z[~positive])
+        out[~positive] = exp_z / (1.0 + exp_z)
+        return out
+
+    def _check_numerical(self, numerical: np.ndarray | None, batch_size: int) -> np.ndarray:
+        if self.num_numerical == 0:
+            return np.zeros((batch_size, 0))
+        if numerical is None:
+            raise ValueError(f"model expects {self.num_numerical} numerical features, got none")
+        numerical = np.asarray(numerical, dtype=np.float64)
+        if numerical.shape != (batch_size, self.num_numerical):
+            raise ValueError(
+                f"numerical input must have shape ({batch_size}, {self.num_numerical}), "
+                f"got {numerical.shape}"
+            )
+        return numerical
+
+    def dense_parameter_count(self) -> int:
+        """Number of parameters in the dense network (excludes embeddings)."""
+        return self.num_parameters()

@@ -1,0 +1,257 @@
+"""Differentiable operations over :class:`repro.nn.tensor.Tensor`.
+
+Each function builds the forward result eagerly and registers a closure that
+propagates gradients to its inputs.  Only the operations required by the
+recommendation models and losses in this library are implemented; they are
+all exercised by gradient-checking tests in ``tests/nn``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import ArrayLike, Tensor, _unbroadcast, ensure_tensor
+
+
+def _make(data: np.ndarray, parents: tuple[Tensor, ...], backward_fn) -> Tensor:
+    requires_grad = any(p.requires_grad for p in parents)
+    return Tensor(
+        data,
+        requires_grad=requires_grad,
+        parents=tuple(p for p in parents if p.requires_grad),
+        backward_fn=backward_fn if requires_grad else None,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Element-wise arithmetic
+# --------------------------------------------------------------------------- #
+def add(a: Tensor | ArrayLike, b: Tensor | ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate_grad(_unbroadcast(grad, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def sub(a: Tensor | ArrayLike, b: Tensor | ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate_grad(_unbroadcast(-grad, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def mul(a: Tensor | ArrayLike, b: Tensor | ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate_grad(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate_grad(_unbroadcast(grad * a.data, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Linear algebra
+# --------------------------------------------------------------------------- #
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            grad_a = grad @ np.swapaxes(b.data, -1, -2)
+            a._accumulate_grad(_unbroadcast(grad_a, a.shape))
+        if b.requires_grad:
+            grad_b = np.swapaxes(a.data, -1, -2) @ grad
+            b._accumulate_grad(_unbroadcast(grad_b, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def batched_outer_interaction(x: Tensor) -> Tensor:
+    """Pairwise dot products between field embeddings (DLRM interaction).
+
+    ``x`` has shape ``(batch, fields, dim)``; the result contains, for every
+    sample, the strictly-lower-triangular entries of ``x @ x^T`` flattened to
+    shape ``(batch, fields * (fields - 1) / 2)``.
+    """
+    x = ensure_tensor(x)
+    batch, fields, _ = x.shape
+    gram = x.data @ np.swapaxes(x.data, 1, 2)  # (batch, fields, fields)
+    rows, cols = np.tril_indices(fields, k=-1)
+    out_data = gram[:, rows, cols]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_gram = np.zeros((batch, fields, fields))
+        grad_gram[:, rows, cols] = grad
+        # d(x_i . x_j)/dx = contribution to both rows i and j.
+        grad_x = grad_gram @ x.data + np.swapaxes(grad_gram, 1, 2) @ x.data
+        x._accumulate_grad(grad_x)
+
+    return _make(out_data, (x,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Shape manipulation
+# --------------------------------------------------------------------------- #
+def reshape(x: Tensor, shape: tuple[int, ...]) -> Tensor:
+    x = ensure_tensor(x)
+    out_data = x.data.reshape(shape)
+    original_shape = x.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(grad.reshape(original_shape))
+
+    return _make(out_data, (x,), backward)
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, boundaries, axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate_grad(piece)
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Reductions
+# --------------------------------------------------------------------------- #
+def sum(x: Tensor, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    x = ensure_tensor(x)
+    out_data = x.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        x._accumulate_grad(np.broadcast_to(g, x.shape).copy())
+
+    return _make(out_data, (x,), backward)
+
+
+def mean(x: Tensor, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:
+    x = ensure_tensor(x)
+    out_data = x.data.mean(axis=axis, keepdims=keepdims)
+    denom = x.data.size / out_data.size
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        x._accumulate_grad(np.broadcast_to(g, x.shape).copy() / denom)
+
+    return _make(out_data, (x,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    x = ensure_tensor(x)
+    mask = x.data > 0
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(grad * mask)
+
+    return _make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x = ensure_tensor(x)
+    out_data = _stable_sigmoid(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(grad * out_data * (1.0 - out_data))
+
+    return _make(out_data, (x,), backward)
+
+
+def _stable_sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Embedding gather
+# --------------------------------------------------------------------------- #
+def gather_rows(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Select rows ``indices`` from 2-D ``table``; gradient scatters back.
+
+    ``indices`` may have any shape; the output has shape
+    ``indices.shape + (table.shape[1],)``.  The backward pass accumulates with
+    ``np.add.at`` so repeated indices within a batch sum their gradients, the
+    same semantics as a sparse embedding lookup in PyTorch.
+    """
+    table = ensure_tensor(table)
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = table.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        if not table.requires_grad:
+            return
+        grad_table = np.zeros_like(table.data)
+        np.add.at(grad_table, idx.reshape(-1), grad.reshape(-1, table.data.shape[1]))
+        table._accumulate_grad(grad_table)
+
+    return _make(out_data, (table,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Losses
+# --------------------------------------------------------------------------- #
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean binary cross entropy computed from raw logits (numerically stable).
+
+    Uses the identity ``BCE(z, y) = max(z, 0) - z*y + log(1 + exp(-|z|))`` and
+    the gradient ``sigmoid(z) - y``, matching
+    ``torch.nn.BCEWithLogitsLoss(reduction="mean")``.
+    """
+    logits = ensure_tensor(logits)
+    y = np.asarray(targets, dtype=np.float64).reshape(logits.shape)
+    z = logits.data
+    losses = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+    out_data = np.asarray(losses.mean())
+    count = z.size
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            grad_logits = (_stable_sigmoid(z) - y) / count
+            logits._accumulate_grad(grad * grad_logits)
+
+    return _make(out_data, (logits,), backward)

@@ -1,0 +1,45 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for dense layers."""
+    generator = make_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """He/Kaiming uniform initialization suited to ReLU networks."""
+    generator = make_rng(rng)
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return generator.uniform(-limit, limit, size=shape)
+
+
+def embedding_uniform(shape: tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """DLRM-style embedding initialization: uniform in ±1/sqrt(num_rows).
+
+    This matches the reference DLRM implementation, which scales the range by
+    the table cardinality so that the expected embedding norm is independent
+    of the number of rows — important when comparing compressed tables with
+    very different row counts.
+    """
+    generator = make_rng(rng)
+    num_rows = max(shape[0], 1)
+    limit = 1.0 / np.sqrt(num_rows)
+    return generator.uniform(-limit, limit, size=shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fan-in/fan-out of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

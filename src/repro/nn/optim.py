@@ -1,0 +1,183 @@
+"""Optimizers for dense parameters and for sparse (row-indexed) updates.
+
+Dense optimizers operate on autograd :class:`Parameter` objects after
+``backward()``.  The embedding-compression layers manage their own storage
+outside the autograd graph (they must intercept per-lookup gradients to feed
+HotSketch), so this module also provides *row optimizers* that apply SGD or
+Adagrad updates to selected rows of a raw NumPy matrix — the same split
+between a "dense" and a "sparse" optimizer that production DLRM trainers use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+
+class Optimizer:
+    """Base class for dense optimizers over autograd parameters."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent (optionally with momentum)."""
+
+    def __init__(self, parameters: list[Parameter], lr: float, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adagrad(Optimizer):
+    """Adagrad, the optimizer the reference DLRM uses for embeddings."""
+
+    def __init__(self, parameters: list[Parameter], lr: float, eps: float = 1e-10):
+        super().__init__(parameters, lr)
+        self.eps = float(eps)
+        self._accumulators = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, acc in zip(self.parameters, self._accumulators):
+            if param.grad is None:
+                continue
+            acc += param.grad**2
+            param.data -= self.lr * param.grad / (np.sqrt(acc) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+# --------------------------------------------------------------------------- #
+# Row-wise (sparse) optimizers for embedding storages
+# --------------------------------------------------------------------------- #
+class RowOptimizer:
+    """Applies updates to selected rows of a raw parameter matrix."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def update(self, table: np.ndarray, rows: np.ndarray, grads: np.ndarray) -> None:
+        """Apply the update ``table[rows] -= f(grads)`` in place.
+
+        ``rows`` may contain duplicates; gradients for duplicate rows are
+        summed before the update (scatter-add semantics).
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        """Clear any per-row state (used when an embedding row is recycled)."""
+
+    @staticmethod
+    def _deduplicate(rows: np.ndarray, grads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        unique_rows, inverse = np.unique(rows, return_inverse=True)
+        summed = np.zeros((unique_rows.size, grads.shape[1]), dtype=grads.dtype)
+        np.add.at(summed, inverse, grads)
+        return unique_rows, summed
+
+
+class RowSGD(RowOptimizer):
+    """Sparse SGD over embedding rows."""
+
+    def update(self, table: np.ndarray, rows: np.ndarray, grads: np.ndarray) -> None:
+        unique_rows, summed = self._deduplicate(np.asarray(rows, dtype=np.int64), grads)
+        table[unique_rows] -= self.lr * summed
+
+
+class RowAdagrad(RowOptimizer):
+    """Sparse Adagrad over embedding rows (row-wise accumulator).
+
+    The accumulator is lazily sized to the table the first time ``update`` is
+    called, and tracks one scalar per row (row-wise Adagrad), which is the
+    standard memory-frugal variant used for huge embedding tables.
+    """
+
+    def __init__(self, lr: float, eps: float = 1e-10):
+        super().__init__(lr)
+        self.eps = float(eps)
+        self._accumulator: np.ndarray | None = None
+
+    def _ensure_state(self, table: np.ndarray) -> None:
+        if self._accumulator is None or self._accumulator.shape[0] != table.shape[0]:
+            self._accumulator = np.zeros(table.shape[0], dtype=np.float64)
+
+    def update(self, table: np.ndarray, rows: np.ndarray, grads: np.ndarray) -> None:
+        self._ensure_state(table)
+        unique_rows, summed = self._deduplicate(np.asarray(rows, dtype=np.int64), grads)
+        self._accumulator[unique_rows] += (summed**2).mean(axis=1)
+        scale = self.lr / (np.sqrt(self._accumulator[unique_rows]) + self.eps)
+        table[unique_rows] -= scale[:, None] * summed
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        if self._accumulator is not None:
+            self._accumulator[np.asarray(rows, dtype=np.int64)] = 0.0
+
+
+def make_row_optimizer(name: str, lr: float) -> RowOptimizer:
+    """Factory used by configuration code: ``"sgd"`` or ``"adagrad"``."""
+    lowered = name.lower()
+    if lowered == "sgd":
+        return RowSGD(lr)
+    if lowered == "adagrad":
+        return RowAdagrad(lr)
+    raise ValueError(f"unknown row optimizer '{name}' (expected 'sgd' or 'adagrad')")

@@ -1,0 +1,233 @@
+"""A small reverse-mode automatic differentiation engine over NumPy arrays.
+
+The CAFE paper builds on PyTorch; PyTorch is not available in this offline
+environment, so this module provides the minimal-but-real substrate the rest
+of the library needs: a ``Tensor`` holding a ``numpy.ndarray``, a dynamic
+computation graph, and reverse-mode gradients for the operations used by the
+DLRM / WDL / DCN models (matrix multiplication, element-wise arithmetic,
+activations, reductions, concatenation, gathering rows from embedding
+matrices, and the binary cross entropy loss).
+
+The engine intentionally mirrors PyTorch's mental model (``requires_grad``,
+``backward()``, ``grad``) so that the embedding-compression code reads like
+the original plug-in module the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+ArrayLike = np.ndarray | float | int | list | tuple
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.float64:
+            return value.astype(np.float64)
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` back down to ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor participating in a dynamic autograd graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: tuple["Tensor", ...] = (),
+        backward_fn: Callable[[np.ndarray], None] | None = None,
+        name: str = "",
+    ):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = parents
+        self._backward_fn = backward_fn
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------------ #
+    # Autograd machinery
+    # ------------------------------------------------------------------ #
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: ArrayLike | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ones, which is the usual convention for scalar
+        losses; for non-scalar tensors an explicit upstream gradient of the
+        same shape must be provided.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
+
+        order = _topological_order(self)
+        self._accumulate_grad(grad)
+        for node in reversed(order):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Operator overloads (thin wrappers over repro.nn.functional)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.sub(self, other)
+
+    def __rsub__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.sub(other, self)
+
+    def __mul__(self, other: "Tensor | ArrayLike") -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.mul(self, -1.0)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.matmul(self, other)
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        from repro.nn import functional as F
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return F.reshape(self, shape)
+
+    def relu(self) -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.relu(self)
+
+    def sigmoid(self) -> "Tensor":
+        from repro.nn import functional as F
+
+        return F.sigmoid(self)
+
+
+def ensure_tensor(value: "Tensor | ArrayLike") -> Tensor:
+    """Coerce ``value`` into a non-differentiable :class:`Tensor` if needed."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Return tensors reachable from ``root`` in topological order."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable model parameter (always requires grad)."""
+
+    __slots__ = ()
+
+    def __init__(self, data: ArrayLike, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+def stack_parameters(parameters: Iterable[Parameter]) -> int:
+    """Total number of scalar parameters in ``parameters``."""
+    return int(sum(p.size for p in parameters))

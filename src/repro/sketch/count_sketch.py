@@ -1,0 +1,56 @@
+"""Count sketch (Charikar et al., 2002) — unbiased frequency estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.base import Sketch
+from repro.utils.hashing import hash_to_range, mix64
+
+
+class CountSketch(Sketch):
+    """Count sketch with median-of-rows estimation and ±1 sign hashing."""
+
+    def __init__(self, width: int, depth: int = 3, seed: int = 0):
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        if depth % 2 == 0:
+            raise ValueError("depth should be odd so the median is well-defined")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self.counters = np.zeros((self.depth, self.width), dtype=np.float64)
+
+    def _positions_and_signs(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        positions = np.stack(
+            [hash_to_range(keys, self.width, seed=self.seed + row) for row in range(self.depth)],
+            axis=0,
+        )
+        signs = np.stack(
+            [
+                np.where(mix64(keys, seed=self.seed + 1000 + row) & np.uint64(1), 1.0, -1.0)
+                for row in range(self.depth)
+            ],
+            axis=0,
+        )
+        return positions, signs
+
+    def insert(self, keys: np.ndarray, scores: np.ndarray | None = None) -> None:
+        keys, scores = self._normalize_inputs(keys, scores)
+        if keys.size == 0:
+            return
+        positions, signs = self._positions_and_signs(keys)
+        for row in range(self.depth):
+            np.add.at(self.counters[row], positions[row], signs[row] * scores)
+
+    def query(self, keys: np.ndarray) -> np.ndarray:
+        keys_arr = np.asarray(keys, dtype=np.int64)
+        flat = keys_arr.reshape(-1)
+        positions, signs = self._positions_and_signs(flat)
+        estimates = np.stack(
+            [signs[row] * self.counters[row, positions[row]] for row in range(self.depth)], axis=0
+        )
+        return np.median(estimates, axis=0).reshape(keys_arr.shape)
+
+    def memory_floats(self) -> int:
+        return int(self.width * self.depth)

@@ -1,0 +1,35 @@
+"""Score-decay policies for adaptive sketches (paper §3.3).
+
+The paper decays HotSketch scores periodically so features that were hot in
+an old distribution can fall below the threshold and yield their exclusive
+embeddings.  The policy object decides *when* to decay; the sketch itself
+implements *how* (multiplying its score array).
+"""
+
+from __future__ import annotations
+
+
+class DecaySchedule:
+    """Base class: decides after which steps to apply decay."""
+
+    def should_decay(self, step: int) -> bool:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class NoDecay(DecaySchedule):
+    """Never decay — suitable for stationary (offline) distributions."""
+
+    def should_decay(self, step: int) -> bool:
+        return False
+
+
+class PeriodicDecay(DecaySchedule):
+    """Decay every ``interval`` training iterations."""
+
+    def __init__(self, interval: int):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = int(interval)
+
+    def should_decay(self, step: int) -> bool:
+        return step > 0 and step % self.interval == 0

@@ -1,0 +1,73 @@
+"""Checkpointing utilities (paper §4, "Fault Tolerance").
+
+The paper registers HotSketch's state as buffers of the embedding module so
+that checkpoints capture both the dense parameters and the sketch/migration
+state.  This module provides the equivalent for this library: a single
+``.npz`` file containing the model's dense parameters and, when the embedding
+layer supports it, its sparse state (tables, free rows, sketch contents,
+threshold), so online training can resume exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.embeddings.base import CompressedEmbedding
+from repro.models.base import RecommendationModel
+
+_DENSE_PREFIX = "dense/"
+_SPARSE_PREFIX = "sparse/"
+_META_PREFIX = "meta/"
+
+
+def save_checkpoint(path: str | Path, model: RecommendationModel, step: int = 0) -> Path:
+    """Write the model's dense parameters and embedding state to ``path``.
+
+    Embedding layers that implement ``state_dict()`` (CAFE, CAFE-ML) have
+    their full sparse state saved; other layers are skipped with a marker so
+    :func:`load_checkpoint` knows not to expect one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {f"{_META_PREFIX}step": np.asarray(step)}
+    for name, value in model.state_dict().items():
+        payload[f"{_DENSE_PREFIX}{name}"] = value
+    embedding = model.embedding
+    if hasattr(embedding, "state_dict"):
+        for name, value in embedding.state_dict().items():
+            payload[f"{_SPARSE_PREFIX}{name}"] = value
+        payload[f"{_META_PREFIX}has_sparse"] = np.asarray(1)
+    else:
+        payload[f"{_META_PREFIX}has_sparse"] = np.asarray(0)
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(path: str | Path, model: RecommendationModel) -> int:
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Returns the training step recorded at save time.  Raises ``KeyError`` /
+    ``ValueError`` if the checkpoint does not match the model structure.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        dense = {
+            key[len(_DENSE_PREFIX):]: data[key] for key in data.files if key.startswith(_DENSE_PREFIX)
+        }
+        sparse = {
+            key[len(_SPARSE_PREFIX):]: data[key] for key in data.files if key.startswith(_SPARSE_PREFIX)
+        }
+        step = int(data[f"{_META_PREFIX}step"])
+        has_sparse = bool(int(data[f"{_META_PREFIX}has_sparse"]))
+    model.load_state_dict(dense)
+    if has_sparse:
+        embedding: CompressedEmbedding = model.embedding
+        if not hasattr(embedding, "load_state_dict"):
+            raise ValueError(
+                "checkpoint contains embedding state but the model's embedding layer "
+                f"({type(embedding).__name__}) cannot load one"
+            )
+        embedding.load_state_dict(sparse)
+    return step

@@ -1,0 +1,31 @@
+"""Training configuration objects shared by the trainer and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of one training run.
+
+    The defaults are scaled to the synthetic presets; experiments override
+    ``samples_per_day`` / ``batch_size`` to trade fidelity for runtime.
+    """
+
+    batch_size: int = 256
+    dense_optimizer: str = "adam"
+    dense_learning_rate: float = 0.01
+    sparse_optimizer: str = "adagrad"
+    sparse_learning_rate: float = 0.1
+    samples_per_day: int | None = None
+    eval_batch_size: int = 4096
+    eval_every: int | None = None
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.dense_learning_rate <= 0 or self.sparse_learning_rate <= 0:
+            raise ValueError("learning rates must be positive")

@@ -1,0 +1,105 @@
+"""Deterministic 64-bit hashing utilities.
+
+Every hash-based structure in this library (hash embeddings, the Q-R trick,
+HotSketch bucket placement, multi-level hash tables) needs cheap, vectorized,
+*deterministic* hash functions over integer feature identifiers.  We use the
+SplitMix64 finalizer, which is a well-studied bijective mixer with excellent
+avalanche behaviour, parameterized by a per-function seed so that independent
+hash functions can be drawn from a family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+# SplitMix64 constants.
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def mix64(values: np.ndarray | int, seed: int = 0) -> np.ndarray:
+    """Apply the SplitMix64 finalizer to ``values``.
+
+    Parameters
+    ----------
+    values:
+        Integer scalar or array of any integer dtype.  Negative values are
+        reinterpreted as unsigned 64-bit integers.
+    seed:
+        Seed selecting a member of the hash family.
+
+    Returns
+    -------
+    ``numpy.ndarray`` of dtype ``uint64`` with the same shape as ``values``.
+    """
+    x = np.asarray(values).astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x = (x + np.uint64(seed) * _GAMMA + _GAMMA) & _MASK64
+        x ^= x >> np.uint64(30)
+        x = (x * _MIX1) & _MASK64
+        x ^= x >> np.uint64(27)
+        x = (x * _MIX2) & _MASK64
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def hash_to_range(values: np.ndarray | int, size: int, seed: int = 0) -> np.ndarray:
+    """Hash ``values`` uniformly into ``[0, size)`` as ``int64``."""
+    if size <= 0:
+        raise ValueError(f"hash range must be positive, got {size}")
+    return (mix64(values, seed) % np.uint64(size)).astype(np.int64)
+
+
+def hash_to_bucket(values: np.ndarray | int, num_buckets: int, seed: int = 0) -> np.ndarray:
+    """Alias of :func:`hash_to_range` with sketch-oriented naming."""
+    return hash_to_range(values, num_buckets, seed)
+
+
+def hash_to_unit(values: np.ndarray | int, seed: int = 0) -> np.ndarray:
+    """Hash ``values`` to floats uniformly distributed in ``[0, 1)``."""
+    return mix64(values, seed).astype(np.float64) / float(2**64)
+
+
+class HashFamily:
+    """A family of independent hash functions over integer keys.
+
+    Used by multi-level hash embeddings and the Q-R trick, where each level /
+    component needs its own hash function mapping feature ids into a table of
+    a given size.
+    """
+
+    def __init__(self, num_hashes: int, size: int, seed: int = 0):
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.num_hashes = int(num_hashes)
+        self.size = int(size)
+        self.seed = int(seed)
+        # Derive well-separated per-function seeds from the family seed.
+        base = mix64(np.arange(num_hashes, dtype=np.int64), seed=seed)
+        self._seeds = [int(s) for s in base]
+
+    def __len__(self) -> int:
+        return self.num_hashes
+
+    def hash(self, values: np.ndarray | int, index: int) -> np.ndarray:
+        """Hash ``values`` with the ``index``-th function of the family."""
+        if not 0 <= index < self.num_hashes:
+            raise IndexError(f"hash index {index} out of range [0, {self.num_hashes})")
+        return hash_to_range(values, self.size, seed=self._seeds[index])
+
+    def hash_all(self, values: np.ndarray | int) -> np.ndarray:
+        """Hash ``values`` with every function; result has a trailing axis of
+        length ``num_hashes``."""
+        arr = np.asarray(values)
+        out = np.empty(arr.shape + (self.num_hashes,), dtype=np.int64)
+        for i in range(self.num_hashes):
+            out[..., i] = self.hash(arr, i)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HashFamily(num_hashes={self.num_hashes}, size={self.size}, seed={self.seed})"

@@ -1,0 +1,30 @@
+"""Seeded random-number-generator helpers.
+
+All stochastic components accept either an integer seed or an existing
+``numpy.random.Generator``; these helpers normalize that convention so the
+whole library is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = int | np.random.Generator | None
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, generator, or ``None``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Deterministically derive ``count`` independent generators from ``seed``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream for determinism.
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return [np.random.default_rng(child) for child in root.spawn(count)]

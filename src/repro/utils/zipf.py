@@ -1,0 +1,81 @@
+"""Zipf distribution helpers.
+
+The CAFE paper observes (Figure 3) that per-feature importance (gradient norm)
+and per-feature popularity follow Zipf distributions with exponents around
+1.05-1.1 on Criteo/CriteoTB.  The synthetic data generator samples features
+from truncated Zipf distributions, and the gradient-norm analysis fits a Zipf
+exponent to measured importance scores, so both directions (sampling and
+fitting) live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+
+
+def zipf_probabilities(num_items: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf probabilities ``p_i ∝ 1 / i**exponent`` for ranks 1..n."""
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+class ZipfDistribution:
+    """Truncated Zipf distribution over ``num_items`` ranks.
+
+    Rank 0 is the most popular item.  Sampling uses the inverse-CDF method on
+    the precomputed cumulative distribution, which is exact and fast for the
+    cardinalities used in the synthetic datasets (up to a few hundred thousand
+    items per field).
+    """
+
+    def __init__(self, num_items: int, exponent: float):
+        self.num_items = int(num_items)
+        self.exponent = float(exponent)
+        self.probabilities = zipf_probabilities(self.num_items, self.exponent)
+        self._cdf = np.cumsum(self.probabilities)
+        # Guard against floating point drift so searchsorted never overflows.
+        self._cdf[-1] = 1.0
+
+    def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` ranks (0-based, 0 = hottest) from the distribution."""
+        generator = make_rng(rng)
+        uniforms = generator.random(size)
+        return np.searchsorted(self._cdf, uniforms, side="right").astype(np.int64)
+
+    def head_mass(self, top_k: int) -> float:
+        """Total probability mass carried by the ``top_k`` most popular ranks."""
+        top_k = min(max(top_k, 0), self.num_items)
+        return float(self.probabilities[:top_k].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ZipfDistribution(num_items={self.num_items}, exponent={self.exponent})"
+
+
+def fit_zipf_exponent(scores: np.ndarray, min_rank: int = 1, max_rank: int | None = None) -> float:
+    """Fit a Zipf exponent to sorted positive ``scores`` via log-log regression.
+
+    The scores are sorted in decreasing order and regressed against their rank
+    on a log-log scale; the negative slope is the Zipf exponent.  Ranks outside
+    ``[min_rank, max_rank]`` are ignored, which mirrors the common practice of
+    fitting only the head/torso of the distribution where Zipf behaviour holds.
+    """
+    values = np.asarray(scores, dtype=np.float64)
+    values = values[values > 0]
+    if values.size < 2:
+        raise ValueError("need at least two positive scores to fit a Zipf exponent")
+    values = np.sort(values)[::-1]
+    if max_rank is None or max_rank > values.size:
+        max_rank = values.size
+    if not 1 <= min_rank < max_rank:
+        raise ValueError(f"invalid rank window [{min_rank}, {max_rank})")
+    ranks = np.arange(min_rank, max_rank + 1, dtype=np.float64)
+    selected = values[min_rank - 1 : max_rank]
+    slope, _ = np.polyfit(np.log(ranks), np.log(selected), 1)
+    return float(-slope)

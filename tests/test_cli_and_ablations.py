@@ -1,0 +1,93 @@
+"""Tests for the command-line interface and the extra ablation runners."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.ablations import run_ablation_adaptivity, run_ablation_slots_per_bucket
+from repro.experiments.common import ScaleSpec
+from repro.experiments.registry import ABLATIONS, list_experiments, run_experiment
+
+MICRO = ScaleSpec("micro", base_cardinality=60, samples_per_day=400, batch_size=100, test_samples=400, max_days=3)
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses(self):
+        args = build_parser().parse_args(["run", "fig7", "--scale", "small", "--seed", "3"])
+        assert args.experiment == "fig7"
+        assert args.scale == "small"
+        assert args.seed == 3
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_sweep_command_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "--dataset", "avazu", "--methods", "hash", "cafe", "--ratios", "10", "50"]
+        )
+        assert args.methods == ["hash", "cafe"]
+        assert args.ratios == [10.0, 50.0]
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "ablation_slots" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.3" in out or "probability" in out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out" / "table2.txt"
+        assert main(["run", "table2", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "criteo" in target.read_text()
+
+    def test_run_table2_respects_seed_and_scale(self, capsys):
+        assert main(["run", "table2", "--scale", "small", "--seed", "5"]) == 0
+        assert "criteotb" in capsys.readouterr().out
+
+
+class TestAblationRegistry:
+    def test_ablations_registered(self):
+        assert set(ABLATIONS) == {"ablation_slots", "ablation_adaptivity"}
+        assert "ablation_slots" in list_experiments(include_ablations=True)
+        assert "ablation_slots" not in list_experiments()
+
+    def test_run_experiment_dispatches_to_ablations(self):
+        result = run_experiment(
+            "ablation_slots", scale=MICRO, seeds=(0,), compression_ratio=20.0, slots_options=(4,)
+        )
+        assert result.experiment_id == "ablation_slots"
+        assert len(result.rows) == 1
+
+
+class TestAblationRunners:
+    def test_slots_per_bucket_rows(self):
+        result = run_ablation_slots_per_bucket(
+            scale=MICRO, seeds=(0,), compression_ratio=20.0, slots_options=(2, 4)
+        )
+        assert [row["slots_per_bucket"] for row in result.rows] == [2, 4]
+        for row in result.rows:
+            assert np.isfinite(row["train_loss"])
+            assert 0.0 <= row["test_auc"] <= 1.0
+
+    def test_adaptivity_variants_present(self):
+        result = run_ablation_adaptivity(scale=MICRO, seeds=(0,), compression_ratio=20.0)
+        variants = {row["variant"] for row in result.rows}
+        assert variants == {"cafe", "cafe_no_decay", "cafe_no_migration", "hash"}
+        for row in result.rows:
+            assert np.isfinite(row["train_loss"])

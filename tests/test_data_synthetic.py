@@ -1,0 +1,213 @@
+"""Tests for the synthetic CTR stream generator, drift models and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.drift import NoDrift, RotatingDrift
+from repro.data.schema import DatasetSchema, FieldSchema
+from repro.data.stats import frequency_skew_summary, kl_divergence, kl_divergence_matrix
+from repro.data.synthetic import SyntheticConfig, SyntheticCTRDataset
+from repro.errors import DataError
+
+
+def toy_schema(num_days=4, zipf=1.4):
+    return DatasetSchema(
+        name="toy",
+        fields=[FieldSchema("a", 200), FieldSchema("b", 100), FieldSchema("c", 50)],
+        num_numerical=2,
+        embedding_dim=4,
+        num_days=num_days,
+        zipf_exponent=zipf,
+    )
+
+
+def make_dataset(num_days=4, samples=2000, seed=0, drift=None, **config_kwargs):
+    config = SyntheticConfig(samples_per_day=samples, seed=seed, **config_kwargs)
+    return SyntheticCTRDataset(toy_schema(num_days=num_days), config=config, drift=drift)
+
+
+class TestGeneration:
+    def test_batch_shapes(self):
+        ds = make_dataset()
+        batch = ds.generate_day(0)
+        assert batch.categorical.shape == (2000, 3)
+        assert batch.numerical.shape == (2000, 2)
+        assert batch.labels.shape == (2000,)
+
+    def test_global_ids_within_range(self):
+        ds = make_dataset()
+        batch = ds.generate_day(1)
+        assert batch.categorical.min() >= 0
+        assert batch.categorical.max() < ds.schema.num_features
+        # Field 1 ids live in [200, 300).
+        assert np.all(batch.categorical[:, 1] >= 200)
+        assert np.all(batch.categorical[:, 1] < 300)
+
+    def test_deterministic_per_day(self):
+        ds = make_dataset()
+        a = ds.generate_day(2)
+        b = ds.generate_day(2)
+        assert np.array_equal(a.categorical, b.categorical)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_days_differ(self):
+        ds = make_dataset()
+        assert not np.array_equal(ds.generate_day(0).categorical, ds.generate_day(1).categorical)
+
+    def test_invalid_day(self):
+        ds = make_dataset(num_days=2)
+        with pytest.raises(DataError):
+            ds.generate_day(5)
+
+    def test_labels_are_binary_and_mixed(self):
+        ds = make_dataset()
+        labels = ds.generate_day(0).labels
+        assert set(np.unique(labels).tolist()) <= {0.0, 1.0}
+        assert 0.05 < labels.mean() < 0.95
+
+    def test_zipf_skew_present(self):
+        ds = make_dataset()
+        counts = np.bincount(ds.generate_day(0).categorical[:, 0], minlength=200)
+        summary = frequency_skew_summary(counts)
+        # The most popular 10% of features should carry well over 10% of mass.
+        assert summary["top_0.1"] > 0.3
+
+    def test_train_test_split(self):
+        ds = make_dataset(num_days=4)
+        assert ds.train_days == [0, 1, 2]
+        assert ds.test_day == 3
+        single = make_dataset(num_days=1)
+        assert single.train_days == [0]
+
+    def test_labels_depend_on_features(self):
+        """Samples sharing the same hot feature should have correlated labels
+        relative to unrelated samples (the planted signal is real)."""
+        ds = make_dataset(samples=8000, label_noise=0.1)
+        batch = ds.generate_day(0)
+        feature = np.bincount(batch.categorical[:, 0]).argmax()
+        mask = batch.categorical[:, 0] == feature
+        rate_with = batch.labels[mask].mean()
+        rate_overall = batch.labels.mean()
+        assert abs(rate_with - rate_overall) > 0.01 or mask.sum() < 50
+
+
+class TestStreams:
+    def test_day_batches_sizes(self):
+        ds = make_dataset(samples=1000)
+        batches = list(ds.day_batches(0, batch_size=256))
+        assert [len(b) for b in batches] == [256, 256, 256, 232]
+
+    def test_training_stream_is_chronological(self):
+        ds = make_dataset(num_days=3, samples=500)
+        days = [b.day for b in ds.training_stream(200)]
+        assert days == sorted(days)
+        assert set(days) == {0, 1}
+
+    def test_test_batch_uses_last_day(self):
+        ds = make_dataset(num_days=3)
+        assert ds.test_batch(100).day == 2
+
+    def test_feature_frequencies_counts(self):
+        ds = make_dataset(num_days=2, samples=500)
+        freqs = ds.feature_frequencies()
+        assert freqs.sum() == 500 * 1 * 3  # one train day, 3 fields
+
+    def test_day_histograms_shape(self):
+        ds = make_dataset(num_days=3, samples=200)
+        hist = ds.day_histograms()
+        assert hist.shape == (3, ds.schema.num_features)
+        assert hist.sum() == 3 * 200 * 3
+
+
+class TestDrift:
+    def test_no_drift_keeps_distribution(self):
+        ds = make_dataset(num_days=3, samples=5000, drift=NoDrift())
+        h = ds.day_histograms()
+        # With add-one smoothing the only divergence left is sampling noise.
+        assert kl_divergence(h[0], h[2], smoothing=1.0) < 0.1
+
+    def test_rotating_drift_changes_distribution(self):
+        drifting = make_dataset(num_days=4, drift=RotatingDrift(swap_fraction=0.2, seed=1))
+        static = make_dataset(num_days=4, drift=NoDrift())
+        h_drift = drifting.day_histograms()
+        h_static = static.day_histograms()
+        assert kl_divergence(h_drift[0], h_drift[3]) > kl_divergence(h_static[0], h_static[3])
+
+    def test_drift_grows_with_day_gap(self):
+        ds = make_dataset(num_days=5, samples=4000, drift=RotatingDrift(swap_fraction=0.15, seed=2))
+        matrix = kl_divergence_matrix(ds.day_histograms())
+        adjacent = np.mean([matrix[i, i + 1] for i in range(4)])
+        distant = matrix[0, 4]
+        assert distant > adjacent
+
+    def test_rotating_drift_day_zero_is_base(self):
+        drift = RotatingDrift(swap_fraction=0.1, seed=0)
+        base = np.arange(50)
+        assert np.array_equal(drift.permutation_for_day(0, 50, base), base)
+
+    def test_rotating_drift_is_permutation(self):
+        drift = RotatingDrift(swap_fraction=0.3, seed=0)
+        base = np.arange(100)
+        for day in range(4):
+            perm = drift.permutation_for_day(day, 100, base)
+            assert sorted(perm.tolist()) == list(range(100))
+
+    def test_rotating_drift_cached_and_deterministic(self):
+        drift = RotatingDrift(swap_fraction=0.2, seed=3)
+        base = np.arange(30)
+        a = drift.permutation_for_day(3, 30, base)
+        b = drift.permutation_for_day(3, 30, base)
+        assert np.array_equal(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RotatingDrift(swap_fraction=1.5)
+        with pytest.raises(ValueError):
+            RotatingDrift(head_bias=0.0)
+        drift = RotatingDrift()
+        with pytest.raises(ValueError):
+            drift.permutation_for_day(-1, 10, np.arange(10))
+
+
+class TestStats:
+    def test_kl_divergence_zero_for_identical(self):
+        counts = np.asarray([5.0, 3.0, 2.0])
+        assert kl_divergence(counts, counts) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_divergence_positive_and_asymmetric(self):
+        p = np.asarray([10.0, 1.0, 1.0])
+        q = np.asarray([6.0, 5.0, 1.0])
+        assert kl_divergence(p, q) > 0
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_kl_shape_mismatch(self):
+        with pytest.raises(DataError):
+            kl_divergence(np.ones(3), np.ones(4))
+
+    def test_kl_matrix_properties(self):
+        hist = np.asarray([[5.0, 1.0, 1.0], [1.0, 5.0, 1.0], [1.0, 1.0, 5.0]])
+        matrix = kl_divergence_matrix(hist)
+        assert matrix.shape == (3, 3)
+        assert np.all(np.diag(matrix) == 0)
+        assert np.all(matrix >= 0)
+
+    def test_kl_matrix_requires_2d(self):
+        with pytest.raises(DataError):
+            kl_divergence_matrix(np.ones(5))
+
+    def test_frequency_skew_summary(self):
+        counts = np.zeros(1000)
+        counts[:10] = 100.0
+        counts[10:] = 0.1
+        summary = frequency_skew_summary(counts)
+        assert summary["top_0.01"] > 0.9
+
+    def test_frequency_skew_requires_mass(self):
+        with pytest.raises(DataError):
+            frequency_skew_summary(np.zeros(10))
+
+
+class TestConfigValidation:
+    def test_samples_per_day_positive(self):
+        with pytest.raises(DataError):
+            SyntheticCTRDataset(toy_schema(), config=SyntheticConfig(samples_per_day=0))

@@ -1,0 +1,160 @@
+"""Tests for the create_embedding factory and cross-method invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings import (
+    METHOD_NAMES,
+    AdaEmbed,
+    CafeEmbedding,
+    CafeMultiLevelEmbedding,
+    FullEmbedding,
+    HashEmbedding,
+    MixedDimensionEmbedding,
+    OfflineSeparationEmbedding,
+    QRTrickEmbedding,
+    create_embedding,
+)
+
+N = 1200
+DIM = 8
+CARDS = [500, 400, 200, 100]
+
+
+def build(method, cr=10.0, **kwargs):
+    return create_embedding(
+        method,
+        num_features=N,
+        dim=DIM,
+        compression_ratio=cr,
+        field_cardinalities=CARDS,
+        frequencies=np.random.default_rng(0).random(N) if method == "offline" else None,
+        rng=np.random.default_rng(1),
+        **kwargs,
+    )
+
+
+EXPECTED_TYPES = {
+    "full": FullEmbedding,
+    "hash": HashEmbedding,
+    "qr": QRTrickEmbedding,
+    "adaembed": AdaEmbed,
+    "mde": MixedDimensionEmbedding,
+    "cafe": CafeEmbedding,
+    "cafe_ml": CafeMultiLevelEmbedding,
+    "offline": OfflineSeparationEmbedding,
+}
+
+
+class TestFactory:
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_builds_every_method(self, method):
+        cr = 1.0 if method == "full" else (4.0 if method in ("adaembed", "mde") else 10.0)
+        emb = build(method, cr=cr)
+        assert isinstance(emb, EXPECTED_TYPES[method])
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            build("bogus")
+
+    def test_mde_requires_cardinalities(self):
+        with pytest.raises(ValueError):
+            create_embedding("mde", num_features=N, dim=DIM, compression_ratio=4.0)
+
+    def test_offline_requires_frequencies(self):
+        with pytest.raises(ValueError):
+            create_embedding("offline", num_features=N, dim=DIM, compression_ratio=10.0)
+
+    @pytest.mark.parametrize("method", ["hash", "qr", "cafe", "cafe_ml"])
+    def test_budget_respected(self, method):
+        emb = build(method, cr=10.0)
+        assert emb.memory_floats() <= N * DIM / 10.0 + DIM  # one-row slack
+
+
+class TestCrossMethodInvariants:
+    """Behaviours every embedding scheme must share."""
+
+    METHODS_AND_CRS = [
+        ("full", 1.0),
+        ("hash", 10.0),
+        ("qr", 10.0),
+        ("adaembed", 4.0),
+        ("mde", 2.0),
+        ("cafe", 10.0),
+        ("cafe_ml", 10.0),
+        ("offline", 10.0),
+    ]
+
+    @pytest.mark.parametrize("method,cr", METHODS_AND_CRS)
+    def test_lookup_shape_and_dtype(self, method, cr):
+        emb = build(method, cr=cr)
+        ids = np.asarray([[0, 5, 900], [3, 3, N - 1]])
+        out = emb.lookup(ids)
+        assert out.shape == (2, 3, DIM)
+        assert out.dtype == np.float64
+
+    @pytest.mark.parametrize("method,cr", METHODS_AND_CRS)
+    def test_lookup_is_deterministic(self, method, cr):
+        emb = build(method, cr=cr)
+        ids = np.asarray([1, 2, 3, 1])
+        assert np.array_equal(emb.lookup(ids), emb.lookup(ids))
+
+    @pytest.mark.parametrize("method,cr", METHODS_AND_CRS)
+    def test_apply_gradients_changes_lookup(self, method, cr):
+        emb = build(method, cr=cr)
+        ids = np.asarray([7, 8, 9])
+        before = emb.lookup(ids).copy()
+        emb.apply_gradients(ids, np.ones((3, DIM)))
+        after = emb.lookup(ids)
+        assert not np.allclose(before, after)
+
+    @pytest.mark.parametrize("method,cr", METHODS_AND_CRS)
+    def test_memory_positive_and_ratio_consistent(self, method, cr):
+        emb = build(method, cr=cr)
+        assert emb.memory_floats() > 0
+        assert emb.compression_ratio() == pytest.approx(N * DIM / emb.memory_floats())
+
+    @pytest.mark.parametrize("method,cr", METHODS_AND_CRS)
+    def test_gradient_descent_reduces_reconstruction_error(self, method, cr):
+        """Every scheme must be able to (locally) fit targets for a small set
+        of repeatedly-seen features — the basic property training relies on."""
+        emb = build(method, cr=cr)
+        ids = np.asarray([0, 1, 2, 3])
+        target = np.random.default_rng(3).normal(size=(4, DIM)) * 0.1
+        initial = float(np.abs(emb.lookup(ids) - target).mean())
+        for _ in range(80):
+            out = emb.lookup(ids)
+            emb.apply_gradients(ids, 2 * (out - target) / 4)
+        final = float(np.abs(emb.lookup(ids) - target).mean())
+        assert final < initial
+
+
+class TestPropertyBased:
+    @given(
+        ids=st.lists(st.integers(min_value=0, max_value=N - 1), min_size=1, max_size=64),
+        method=st.sampled_from(["hash", "cafe", "qr"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lookup_never_fails_for_valid_ids(self, ids, method):
+        emb = build(method, cr=10.0)
+        arr = np.asarray(ids, dtype=np.int64)
+        out = emb.lookup(arr)
+        assert out.shape == (len(ids), DIM)
+        assert np.all(np.isfinite(out))
+
+    @given(ids=st.lists(st.integers(min_value=0, max_value=N - 1), min_size=1, max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_cafe_row_accounting_invariant(self, ids):
+        """After arbitrary updates, every exclusive row is either free or
+        referenced by exactly one sketch payload (no leaks, no double use)."""
+        emb = build("cafe", cr=10.0)
+        arr = np.asarray(ids, dtype=np.int64)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            emb.apply_gradients(arr, rng.normal(size=(arr.size, DIM)))
+        payloads = emb.sketch.payloads[emb.sketch.payloads != -1]
+        assert len(set(payloads.tolist())) == payloads.size  # no double-assignment
+        assert payloads.size + len(emb._free_rows) == emb.num_hot_rows
+        assert np.all((payloads >= 0) & (payloads < emb.num_hot_rows))

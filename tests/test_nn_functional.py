@@ -1,0 +1,199 @@
+"""Numerical gradient checks for every differentiable op in repro.nn.functional."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-5):
+    """Compare autograd and numerical gradients for a tensor of given shape."""
+    rng = np.random.default_rng(seed)
+    x_data = rng.normal(size=shape)
+
+    x = Tensor(x_data.copy(), requires_grad=True)
+    loss = build_loss(x)
+    loss.backward()
+    analytic = x.grad
+
+    numeric = numerical_gradient(lambda arr: float(build_loss(Tensor(arr)).data), x_data.copy())
+    assert np.allclose(analytic, numeric, atol=atol), (
+        f"gradient mismatch: max diff {np.abs(analytic - numeric).max()}"
+    )
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        other = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        check_gradient(lambda x: F.add(x, other).sum(), (3, 4))
+
+    def test_add_broadcast(self):
+        bias = Tensor(np.random.default_rng(2).normal(size=(4,)))
+        check_gradient(lambda x: F.add(x, bias).sum(), (3, 4))
+
+    def test_add_broadcast_gradient_of_bias(self):
+        x = Tensor(np.ones((3, 4)))
+        bias = Tensor(np.zeros(4), requires_grad=True)
+        F.add(x, bias).sum().backward()
+        assert np.allclose(bias.grad, [3.0, 3.0, 3.0, 3.0])
+
+    def test_sub(self):
+        other = Tensor(np.random.default_rng(3).normal(size=(2, 5)))
+        check_gradient(lambda x: F.sub(x, other).sum(), (2, 5))
+        check_gradient(lambda x: F.sub(other, x).sum(), (2, 5))
+
+    def test_mul(self):
+        other = Tensor(np.random.default_rng(4).normal(size=(3, 3)))
+        check_gradient(lambda x: F.mul(x, other).sum(), (3, 3))
+
+    def test_mul_broadcast_scalar_column(self):
+        scalar_col = Tensor(np.random.default_rng(5).normal(size=(3, 1)))
+        check_gradient(lambda x: F.mul(x, scalar_col).sum(), (3, 4))
+
+
+class TestMatmulGradients:
+    def test_matmul_left(self):
+        right = Tensor(np.random.default_rng(6).normal(size=(4, 2)))
+        check_gradient(lambda x: F.matmul(x, right).sum(), (3, 4))
+
+    def test_matmul_right(self):
+        left = Tensor(np.random.default_rng(7).normal(size=(3, 4)))
+        check_gradient(lambda x: F.matmul(left, x).sum(), (4, 2))
+
+    def test_matmul_both_require_grad(self):
+        a = Tensor(np.random.default_rng(8).normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(np.random.default_rng(9).normal(size=(3, 2)), requires_grad=True)
+        F.matmul(a, b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3, 2)
+
+
+class TestInteractionGradients:
+    def test_batched_outer_interaction_shape(self):
+        x = Tensor(np.random.default_rng(10).normal(size=(5, 4, 3)))
+        out = F.batched_outer_interaction(x)
+        assert out.shape == (5, 6)  # 4*3/2 pairs
+
+    def test_batched_outer_interaction_values(self):
+        x = np.random.default_rng(11).normal(size=(1, 3, 2))
+        out = F.batched_outer_interaction(Tensor(x)).data[0]
+        expected = [
+            x[0, 1] @ x[0, 0],
+            x[0, 2] @ x[0, 0],
+            x[0, 2] @ x[0, 1],
+        ]
+        assert np.allclose(out, expected)
+
+    def test_batched_outer_interaction_gradient(self):
+        check_gradient(lambda x: F.batched_outer_interaction(x).sum(), (2, 4, 3), atol=1e-4)
+
+
+class TestShapeOpsGradients:
+    def test_reshape(self):
+        check_gradient(lambda x: F.reshape(x, (6,)).sum(), (2, 3))
+
+    def test_concat(self):
+        other = Tensor(np.random.default_rng(12).normal(size=(2, 3)))
+        check_gradient(lambda x: F.concat([x, other], axis=1).sum(), (2, 4))
+
+    def test_concat_gradient_split(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        F.concat([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_gradient(lambda x: F.sum(x), (3, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: F.sum(F.sum(x, axis=1)), (3, 4))
+
+    def test_mean_all(self):
+        check_gradient(lambda x: F.mean(x), (4, 2))
+
+    def test_mean_axis_keepdims(self):
+        check_gradient(lambda x: F.sum(F.mean(x, axis=0, keepdims=True)), (3, 5))
+
+
+class TestActivationGradients:
+    def test_relu(self):
+        check_gradient(lambda x: F.relu(x).sum(), (4, 4))
+
+    def test_relu_zeroes_negative(self):
+        x = Tensor([[-1.0, 2.0]], requires_grad=True)
+        F.relu(x).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0]])
+
+    def test_sigmoid(self):
+        check_gradient(lambda x: F.sigmoid(x).sum(), (3, 3))
+
+    def test_sigmoid_range(self):
+        out = F.sigmoid(Tensor([-100.0, 0.0, 100.0])).data
+        assert np.all(out >= 0) and np.all(out <= 1)
+        assert out[1] == pytest.approx(0.5)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = F.sigmoid(Tensor([-1000.0, 1000.0])).data
+        assert not np.any(np.isnan(out))
+
+
+class TestGatherRows:
+    def test_forward(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3))
+        out = F.gather_rows(table, np.asarray([[0, 2], [3, 3]]))
+        assert out.shape == (2, 2, 3)
+        assert np.allclose(out.data[0, 1], [6.0, 7.0, 8.0])
+
+    def test_gradient_accumulates_duplicates(self):
+        table = Tensor(np.zeros((4, 2)), requires_grad=True)
+        out = F.gather_rows(table, np.asarray([1, 1, 2]))
+        out.sum().backward()
+        assert np.allclose(table.grad[1], [2.0, 2.0])
+        assert np.allclose(table.grad[2], [1.0, 1.0])
+        assert np.allclose(table.grad[0], [0.0, 0.0])
+
+    def test_gradient_check(self):
+        idx = np.asarray([[0, 1], [2, 0]])
+        check_gradient(lambda x: F.gather_rows(x, idx).sum(), (3, 4))
+
+
+class TestBCEWithLogits:
+    def test_matches_reference_value(self):
+        logits = np.asarray([0.0, 2.0, -3.0])
+        targets = np.asarray([1.0, 0.0, 1.0])
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        probs = 1 / (1 + np.exp(-logits))
+        expected = -np.mean(targets * np.log(probs) + (1 - targets) * np.log(1 - probs))
+        assert float(loss.data) == pytest.approx(expected, rel=1e-9)
+
+    def test_gradient(self):
+        targets = np.asarray([1.0, 0.0, 1.0, 0.0])
+        check_gradient(
+            lambda x: F.binary_cross_entropy_with_logits(x, targets), (4,), atol=1e-6
+        )
+
+    def test_extreme_logits_stable(self):
+        loss = F.binary_cross_entropy_with_logits(Tensor([1000.0, -1000.0]), np.asarray([1.0, 0.0]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-9)
+        loss_bad = F.binary_cross_entropy_with_logits(Tensor([-1000.0]), np.asarray([1.0]))
+        assert np.isfinite(float(loss_bad.data))

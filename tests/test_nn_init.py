@@ -1,0 +1,38 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import embedding_uniform, kaiming_uniform, xavier_uniform
+
+
+class TestInitializers:
+    def test_xavier_bounds(self):
+        w = xavier_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+        assert w.shape == (100, 50)
+
+    def test_kaiming_bounds(self):
+        w = kaiming_uniform((64, 32), rng=1)
+        limit = np.sqrt(6.0 / 64)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_embedding_uniform_scales_with_rows(self):
+        small = embedding_uniform((10, 8), rng=0)
+        large = embedding_uniform((10_000, 8), rng=0)
+        assert np.abs(small).max() > np.abs(large).max()
+        assert np.all(np.abs(large) <= 1.0 / np.sqrt(10_000))
+
+    def test_deterministic_with_seed(self):
+        a = xavier_uniform((5, 5), rng=7)
+        b = xavier_uniform((5, 5), rng=7)
+        assert np.array_equal(a, b)
+
+    def test_scalar_shape_rejected(self):
+        with pytest.raises(ValueError):
+            xavier_uniform(())
+
+    def test_1d_shape_supported(self):
+        w = kaiming_uniform((16,), rng=0)
+        assert w.shape == (16,)

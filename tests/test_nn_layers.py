@@ -1,0 +1,186 @@
+"""Tests for Linear, MLP, interaction layers and the Module base class."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.interactions import CrossNetwork, DotInteraction
+from repro.nn.layers import MLP, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter, Tensor
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_zero_input_gives_bias(self):
+        layer = Linear(4, 2, rng=0)
+        out = layer(Tensor(np.zeros((1, 4))))
+        assert np.allclose(out.data, layer.bias.data)
+
+    def test_parameters_discovered(self):
+        layer = Linear(4, 3, rng=0)
+        params = list(layer.parameters())
+        assert len(params) == 2
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, rng=1)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        loss = layer(x).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+        with pytest.raises(ValueError):
+            Linear(3, -1)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = MLP([8, 16, 4, 1], rng=0)
+        out = mlp(Tensor(np.zeros((10, 8))))
+        assert out.shape == (10, 1)
+
+    def test_sigmoid_output_range(self):
+        mlp = MLP([4, 8, 1], rng=0, sigmoid_output=True)
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(6, 4))))
+        assert np.all(out.data >= 0) and np.all(out.data <= 1)
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_parameter_count(self):
+        mlp = MLP([4, 8, 2], rng=0)
+        expected = (4 * 8 + 8) + (8 * 2 + 2)
+        assert mlp.num_parameters() == expected
+
+    def test_training_reduces_loss(self):
+        """A tiny MLP should fit a simple regression target with SGD."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 3))
+        y = (x[:, 0] - 2 * x[:, 1]).reshape(-1, 1)
+        mlp = MLP([3, 16, 1], rng=1)
+        from repro.nn.optim import SGD
+
+        optimizer = SGD(list(mlp.parameters()), lr=0.05)
+        losses = []
+        for _ in range(200):
+            out = mlp(Tensor(x))
+            diff = F.sub(out, Tensor(y))
+            loss = F.mean(F.mul(diff, diff))
+            mlp.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0] * 0.2
+
+
+class TestDotInteraction:
+    def test_output_dim_helper(self):
+        assert DotInteraction.output_dim(4) == 6
+        assert DotInteraction.output_dim(27) == 27 * 26 // 2
+
+    def test_forward_matches_manual(self):
+        x = np.random.default_rng(2).normal(size=(2, 3, 4))
+        out = DotInteraction()(Tensor(x)).data
+        manual = np.asarray(
+            [
+                [x[b, 1] @ x[b, 0], x[b, 2] @ x[b, 0], x[b, 2] @ x[b, 1]]
+                for b in range(2)
+            ]
+        )
+        assert np.allclose(out, manual)
+
+
+class TestCrossNetwork:
+    def test_shape_preserved(self):
+        net = CrossNetwork(input_dim=6, num_layers=3, rng=0)
+        out = net(Tensor(np.random.default_rng(0).normal(size=(5, 6))))
+        assert out.shape == (5, 6)
+
+    def test_gradients_reach_all_layers(self):
+        net = CrossNetwork(input_dim=4, num_layers=2, rng=0)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        net(x).sum().backward()
+        for weight in net.weights:
+            assert weight.grad is not None
+        for bias in net.biases:
+            assert bias.grad is not None
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CrossNetwork(0, 1)
+        with pytest.raises(ValueError):
+            CrossNetwork(4, 0)
+
+    def test_zero_weights_reduce_to_residual(self):
+        net = CrossNetwork(input_dim=3, num_layers=2, rng=0)
+        for w, b in zip(net.weights, net.biases):
+            w.data[:] = 0.0
+            b.data[:] = 0.0
+        x = np.random.default_rng(3).normal(size=(4, 3))
+        out = net(Tensor(x)).data
+        assert np.allclose(out, x)
+
+
+class TestModule:
+    def test_named_parameters_nested(self):
+        class Outer(Module):
+            def __init__(self):
+                self.inner = Linear(2, 2, rng=0)
+                self.scale = Parameter(np.ones(1))
+
+            def forward(self, x):
+                return self.inner(x)
+
+        outer = Outer()
+        names = dict(outer.named_parameters())
+        assert "scale" in names
+        assert any(name.startswith("inner.") for name in names)
+
+    def test_parameters_in_lists_discovered(self):
+        class WithList(Module):
+            def __init__(self):
+                self.layers = [Linear(2, 2, rng=0), Linear(2, 2, rng=1)]
+
+            def forward(self, x):
+                return x
+
+        model = WithList()
+        assert len(list(model.parameters())) == 4
+
+    def test_state_dict_roundtrip(self):
+        mlp = MLP([3, 4, 1], rng=0)
+        state = mlp.state_dict()
+        other = MLP([3, 4, 1], rng=99)
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(mlp.named_parameters(), other.named_parameters()):
+            assert np.array_equal(a.data, b.data)
+
+    def test_load_state_dict_mismatch(self):
+        mlp = MLP([3, 4, 1], rng=0)
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_load_state_dict_shape_mismatch(self):
+        mlp = MLP([3, 4, 1], rng=0)
+        state = mlp.state_dict()
+        first_key = next(iter(state))
+        state[first_key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            mlp.load_state_dict(state)
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 2, rng=0)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None

@@ -1,0 +1,117 @@
+"""Tests for dense optimizers and row (sparse) optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import (
+    SGD,
+    Adagrad,
+    Adam,
+    RowAdagrad,
+    RowSGD,
+    make_row_optimizer,
+)
+from repro.nn.tensor import Parameter
+
+
+def quadratic_step(optimizer_cls, steps=200, **kwargs):
+    """Minimize ||x - target||^2 and return the final distance."""
+    target = np.asarray([1.0, -2.0, 3.0])
+    x = Parameter(np.zeros(3))
+    optimizer = optimizer_cls([x], **kwargs)
+    for _ in range(steps):
+        x.grad = 2 * (x.data - target)
+        optimizer.step()
+        x.zero_grad()
+    return np.abs(x.data - target).max()
+
+
+class TestDenseOptimizers:
+    def test_sgd_converges(self):
+        assert quadratic_step(SGD, lr=0.1) < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert quadratic_step(SGD, lr=0.05, momentum=0.9) < 1e-4
+
+    def test_adagrad_converges(self):
+        assert quadratic_step(Adagrad, lr=1.0, steps=500) < 1e-2
+
+    def test_adam_converges(self):
+        assert quadratic_step(Adam, lr=0.1, steps=500) < 1e-4
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.9))
+
+    def test_step_skips_parameters_without_grad(self):
+        p = Parameter(np.ones(2))
+        optimizer = SGD([p], lr=0.1)
+        optimizer.step()  # no grad: must not change or crash
+        assert np.allclose(p.data, 1.0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(2))
+        p.grad = np.ones(2)
+        optimizer = SGD([p], lr=0.1)
+        optimizer.zero_grad()
+        assert p.grad is None
+
+
+class TestRowOptimizers:
+    def test_row_sgd_updates_only_selected_rows(self):
+        table = np.zeros((5, 3))
+        opt = RowSGD(lr=0.5)
+        opt.update(table, np.asarray([1, 3]), np.ones((2, 3)))
+        assert np.allclose(table[1], -0.5)
+        assert np.allclose(table[3], -0.5)
+        assert np.allclose(table[0], 0.0)
+
+    def test_row_sgd_duplicate_rows_sum(self):
+        table = np.zeros((4, 2))
+        opt = RowSGD(lr=1.0)
+        opt.update(table, np.asarray([2, 2]), np.ones((2, 2)))
+        assert np.allclose(table[2], -2.0)
+
+    def test_row_adagrad_scales_updates(self):
+        table = np.zeros((4, 2))
+        opt = RowAdagrad(lr=1.0)
+        grads = np.full((1, 2), 2.0)
+        opt.update(table, np.asarray([0]), grads)
+        first = table[0].copy()
+        opt.update(table, np.asarray([0]), grads)
+        second = table[0] - first
+        # Adagrad's accumulated state shrinks the second step.
+        assert np.all(np.abs(second) < np.abs(first))
+
+    def test_row_adagrad_reset_rows(self):
+        table = np.zeros((4, 2))
+        opt = RowAdagrad(lr=1.0)
+        opt.update(table, np.asarray([1]), np.ones((1, 2)))
+        opt.reset_rows(np.asarray([1]))
+        assert opt._accumulator[1] == 0.0
+
+    def test_row_adagrad_resizes_with_table(self):
+        opt = RowAdagrad(lr=0.1)
+        small = np.zeros((2, 2))
+        opt.update(small, np.asarray([0]), np.ones((1, 2)))
+        large = np.zeros((6, 2))
+        opt.update(large, np.asarray([5]), np.ones((1, 2)))  # must not raise
+        assert opt._accumulator.shape[0] == 6
+
+    def test_factory(self):
+        assert isinstance(make_row_optimizer("sgd", 0.1), RowSGD)
+        assert isinstance(make_row_optimizer("adagrad", 0.1), RowAdagrad)
+        with pytest.raises(ValueError):
+            make_row_optimizer("adamw", 0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            RowSGD(lr=-1.0)

@@ -1,0 +1,109 @@
+"""Tests for the autograd Tensor and Parameter classes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Parameter, Tensor, ensure_tensor
+
+
+class TestTensorBasics:
+    def test_construction_casts_to_float64(self):
+        t = Tensor(np.arange(4, dtype=np.int32))
+        assert t.data.dtype == np.float64
+
+    def test_shape_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert t.shape == (3, 4)
+        assert t.ndim == 2
+        assert t.size == 12
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.array_equal(d.data, t.data)
+
+    def test_ensure_tensor(self):
+        assert isinstance(ensure_tensor([1.0, 2.0]), Tensor)
+        t = Tensor([3.0])
+        assert ensure_tensor(t) is t
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        assert np.allclose(x.grad, [4.0, 6.0])
+
+    def test_backward_requires_grad(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_grad_shape_mismatch(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(ValueError):
+            y.backward(np.ones(3))
+
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x + x).sum()
+        y.backward()
+        assert np.allclose(x.grad, [2.0, 2.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 3.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        # x feeds into two branches that are recombined: grads must sum once.
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        y = (a + b).sum()
+        y.backward()
+        assert np.allclose(x.grad, [5.0, 5.0])
+
+    def test_operator_overloads(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = ((-x) + 1.0 - 0.5) * 2.0
+        loss = y.sum()
+        loss.backward()
+        assert np.allclose(y.data, [-1.0, -3.0])
+        assert np.allclose(x.grad, [-2.0, -2.0])
+
+    def test_mean_reduction_gradient(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, np.full((2, 3), 1.0 / 6.0))
+
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.reshape(3, 2).sum()
+        y.backward()
+        assert x.grad.shape == (2, 3)
+        assert np.allclose(x.grad, 1.0)
+
+
+class TestParameter:
+    def test_always_requires_grad(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_usable_in_graph(self):
+        p = Parameter(np.asarray([2.0]))
+        loss = (p * p).sum()
+        loss.backward()
+        assert np.allclose(p.grad, [4.0])

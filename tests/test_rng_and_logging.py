@@ -1,0 +1,56 @@
+"""Tests for repro.utils.rng and repro.utils.logging."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_from_int_seed_is_deterministic(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        rngs = spawn_rngs(7, 3)
+        assert len(rngs) == 3
+        draws = [r.random(4).tolist() for r in rngs]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_deterministic(self):
+        a = [r.random(3).tolist() for r in spawn_rngs(11, 2)]
+        b = [r.random(3).tolist() for r in spawn_rngs(11, 2)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(rngs) == 2
+
+
+class TestLogging:
+    def test_no_duplicate_handlers(self):
+        logger1 = get_logger("repro.test.logger")
+        logger2 = get_logger("repro.test.logger")
+        assert logger1 is logger2
+        assert len(logger1.handlers) == 1
+
+    def test_level_set(self):
+        logger = get_logger("repro.test.level", level=logging.WARNING)
+        assert logger.level == logging.WARNING

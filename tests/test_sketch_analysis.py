@@ -1,0 +1,115 @@
+"""Tests for the theoretical bounds of paper Section 3.5.1."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.analysis import (
+    expected_bucket_noise,
+    optimal_slots_per_bucket,
+    retention_probability_grid,
+    retention_probability_uniform,
+    retention_probability_zipf,
+)
+
+
+class TestUniformBound:
+    def test_probability_in_unit_interval(self):
+        p = retention_probability_uniform(gamma=1e-4, num_buckets=10_000, slots_per_bucket=4)
+        assert 0.0 <= p <= 1.0
+
+    def test_monotone_in_buckets(self):
+        p_small = retention_probability_uniform(1e-4, 1_000, 4)
+        p_large = retention_probability_uniform(1e-4, 100_000, 4)
+        assert p_large >= p_small
+
+    def test_monotone_in_slots(self):
+        p2 = retention_probability_uniform(1e-4, 10_000, 2)
+        p8 = retention_probability_uniform(1e-4, 10_000, 8)
+        assert p8 >= p2
+
+    def test_monotone_in_gamma(self):
+        p_cold = retention_probability_uniform(1e-5, 10_000, 4)
+        p_hot = retention_probability_uniform(1e-3, 10_000, 4)
+        assert p_hot >= p_cold
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            retention_probability_uniform(0.0, 100, 4)
+        with pytest.raises(ValueError):
+            retention_probability_uniform(0.5, 0, 4)
+        with pytest.raises(ValueError):
+            retention_probability_uniform(0.5, 100, 1)
+
+
+class TestZipfBound:
+    def test_probability_in_unit_interval(self):
+        p = retention_probability_zipf(1e-4, 1.2, 10_000, 4)
+        assert 0.0 <= p <= 1.0
+
+    def test_monotone_in_skew(self):
+        # Corollary 3.4: more skew -> higher retention probability.
+        p_flat = retention_probability_zipf(1e-4, 1.1, 10_000, 4)
+        p_skew = retention_probability_zipf(1e-4, 2.0, 10_000, 4)
+        assert p_skew >= p_flat
+
+    def test_monotone_in_gamma(self):
+        p_cold = retention_probability_zipf(1e-5, 1.4, 10_000, 4)
+        p_hot = retention_probability_zipf(1e-3, 1.4, 10_000, 4)
+        assert p_hot >= p_cold
+
+    def test_requires_z_above_one(self):
+        with pytest.raises(ValueError):
+            retention_probability_zipf(1e-4, 1.0, 100, 4)
+
+    def test_paper_configuration_high_probability(self):
+        """With the paper's Figure 7 setting (w=10000, c=4), reasonably hot
+        features on skewed streams are retained with high probability."""
+        p = retention_probability_zipf(1e-3, 1.7, 10_000, 4)
+        assert p > 0.9
+
+
+class TestGrid:
+    def test_grid_shape_and_orientation(self):
+        gammas = np.asarray([1e-5, 1e-4, 1e-3])
+        zs = np.asarray([1.1, 1.5])
+        grid = retention_probability_grid(gammas, zs, 10_000, 4)
+        assert grid.shape == (2, 3)
+        # Rows: increasing z, columns: increasing gamma — both raise probability.
+        assert np.all(np.diff(grid, axis=0) >= -1e-12)
+        assert np.all(np.diff(grid, axis=1) >= -1e-12)
+
+
+class TestOptimalSlots:
+    def test_formula(self):
+        assert optimal_slots_per_bucket(2.0) == pytest.approx(2.0)
+        assert optimal_slots_per_bucket(1.5) == pytest.approx(3.0)
+        assert optimal_slots_per_bucket(1.1) == pytest.approx(11.0)
+
+    def test_paper_range(self):
+        """Paper §5.6: for z in [1.05, 1.1] the optimum lies between 11 and 21."""
+        low = optimal_slots_per_bucket(1.1)
+        high = optimal_slots_per_bucket(1.05)
+        assert 10.9 <= low <= 21.1
+        assert 10.9 <= high <= 21.1
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            optimal_slots_per_bucket(1.0)
+
+
+class TestBucketNoise:
+    def test_decreases_with_more_buckets(self):
+        small = expected_bucket_noise(1000.0, 100, 1.5, 10)
+        large = expected_bucket_noise(1000.0, 100, 1.5, 1000)
+        assert large < small
+
+    def test_decreases_with_more_hot_items(self):
+        few = expected_bucket_noise(1000.0, 10, 1.5, 100)
+        many = expected_bucket_noise(1000.0, 1000, 1.5, 100)
+        assert many < few
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_bucket_noise(1000.0, 10, 1.0, 100)
+        with pytest.raises(ValueError):
+            expected_bucket_noise(1000.0, 0, 1.5, 100)

@@ -1,0 +1,233 @@
+"""Tests for the HotSketch data structure."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.hotsketch import EMPTY_KEY, NO_PAYLOAD, HotSketch
+from repro.utils.zipf import ZipfDistribution
+
+
+def make_sketch(**kwargs):
+    defaults = dict(num_buckets=64, slots_per_bucket=4, hot_threshold=10.0, seed=1)
+    defaults.update(kwargs)
+    return HotSketch(**defaults)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HotSketch(num_buckets=0)
+        with pytest.raises(ValueError):
+            HotSketch(num_buckets=4, slots_per_bucket=0)
+        with pytest.raises(ValueError):
+            HotSketch(num_buckets=4, hot_threshold=0.0)
+        with pytest.raises(ValueError):
+            HotSketch(num_buckets=4, decay=0.0)
+        with pytest.raises(ValueError):
+            HotSketch(num_buckets=4, hot_threshold=5.0, medium_threshold=6.0)
+
+    def test_initial_state(self):
+        sketch = make_sketch()
+        assert np.all(sketch.keys == EMPTY_KEY)
+        assert np.all(sketch.scores == 0)
+        assert sketch.occupancy() == 0.0
+
+    def test_memory_accounting(self):
+        sketch = HotSketch(num_buckets=100, slots_per_bucket=4)
+        # 3 attributes per slot (key, score, pointer).
+        assert sketch.memory_floats() == 100 * 4 * 3
+
+
+class TestInsertQuery:
+    def test_single_insert_and_query(self):
+        sketch = make_sketch()
+        sketch.insert(np.asarray([42]), np.asarray([3.0]))
+        assert sketch.query(np.asarray([42]))[0] == pytest.approx(3.0)
+        assert sketch.query(np.asarray([43]))[0] == 0.0
+
+    def test_repeated_inserts_accumulate(self):
+        sketch = make_sketch()
+        for _ in range(5):
+            sketch.insert(np.asarray([7]), np.asarray([2.0]))
+        assert sketch.query(np.asarray([7]))[0] == pytest.approx(10.0)
+
+    def test_batch_duplicates_aggregated(self):
+        sketch = make_sketch()
+        sketch.insert(np.asarray([5, 5, 5]), np.asarray([1.0, 2.0, 3.0]))
+        assert sketch.query(np.asarray([5]))[0] == pytest.approx(6.0)
+
+    def test_default_scores_are_one(self):
+        sketch = make_sketch()
+        sketch.insert(np.asarray([1, 2, 1]))
+        assert sketch.query(np.asarray([1]))[0] == pytest.approx(2.0)
+
+    def test_query_shape_preserved(self):
+        sketch = make_sketch()
+        sketch.insert(np.asarray([1, 2, 3]))
+        out = sketch.query(np.asarray([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2)
+
+    def test_empty_insert_is_noop(self):
+        sketch = make_sketch()
+        evictions = sketch.insert(np.asarray([], dtype=np.int64))
+        assert len(evictions) == 0
+
+    def test_mismatched_scores_rejected(self):
+        sketch = make_sketch()
+        with pytest.raises(ValueError):
+            sketch.insert(np.asarray([1, 2]), np.asarray([1.0]))
+
+    def test_overestimation_never_underestimates_hot(self):
+        """SpaceSaving guarantees estimates are upper bounds for recorded keys."""
+        sketch = HotSketch(num_buckets=8, slots_per_bucket=2, hot_threshold=1.0, seed=0)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 200, size=5000)
+        true_counts = np.bincount(keys, minlength=200).astype(float)
+        sketch.insert(keys)
+        recorded_mask = sketch.keys != EMPTY_KEY
+        for key, score in zip(sketch.keys[recorded_mask], sketch.scores[recorded_mask]):
+            assert score >= true_counts[key] - 1e-9
+
+
+class TestEvictionAndReplacement:
+    def test_full_bucket_replaces_minimum(self):
+        sketch = HotSketch(num_buckets=1, slots_per_bucket=2, hot_threshold=1.0, seed=0)
+        sketch.insert(np.asarray([1]), np.asarray([5.0]))
+        sketch.insert(np.asarray([2]), np.asarray([1.0]))
+        # Bucket full; inserting key 3 must replace key 2 (the minimum).
+        sketch.insert(np.asarray([3]), np.asarray([2.0]))
+        assert sketch.query(np.asarray([2]))[0] == 0.0
+        # SpaceSaving adds the new score on top of the evicted minimum.
+        assert sketch.query(np.asarray([3]))[0] == pytest.approx(3.0)
+        assert sketch.query(np.asarray([1]))[0] == pytest.approx(5.0)
+
+    def test_eviction_reports_payloads(self):
+        sketch = HotSketch(num_buckets=1, slots_per_bucket=1, hot_threshold=1.0, seed=0)
+        sketch.insert(np.asarray([10]), np.asarray([1.0]))
+        assert sketch.set_payload(10, 5)
+        evictions = sketch.insert(np.asarray([11]), np.asarray([1.0]))
+        assert len(evictions) == 1
+        assert evictions.keys[0] == 10
+        assert evictions.payloads[0] == 5
+
+    def test_eviction_without_payload_not_reported(self):
+        sketch = HotSketch(num_buckets=1, slots_per_bucket=1, hot_threshold=1.0, seed=0)
+        sketch.insert(np.asarray([10]), np.asarray([1.0]))
+        evictions = sketch.insert(np.asarray([11]), np.asarray([1.0]))
+        assert len(evictions) == 0
+
+
+class TestPayloads:
+    def test_set_get_clear(self):
+        sketch = make_sketch()
+        sketch.insert(np.asarray([3]), np.asarray([1.0]))
+        assert sketch.get_payloads(np.asarray([3]))[0] == NO_PAYLOAD
+        assert sketch.set_payload(3, 17)
+        assert sketch.get_payloads(np.asarray([3]))[0] == 17
+        assert sketch.clear_payload(3) == 17
+        assert sketch.get_payloads(np.asarray([3]))[0] == NO_PAYLOAD
+
+    def test_set_payload_missing_key(self):
+        sketch = make_sketch()
+        assert not sketch.set_payload(999, 1)
+        assert sketch.clear_payload(999) == NO_PAYLOAD
+
+    def test_get_payloads_for_absent_keys(self):
+        sketch = make_sketch()
+        out = sketch.get_payloads(np.asarray([1, 2, 3]))
+        assert np.all(out == NO_PAYLOAD)
+
+
+class TestClassification:
+    def test_hot_classification(self):
+        sketch = make_sketch(hot_threshold=5.0)
+        sketch.insert(np.asarray([1]), np.asarray([10.0]))
+        sketch.insert(np.asarray([2]), np.asarray([1.0]))
+        labels = sketch.classify(np.asarray([1, 2, 3]))
+        assert labels.tolist() == [2, 0, 0]
+        assert sketch.is_hot(np.asarray([1, 2])).tolist() == [True, False]
+
+    def test_medium_classification(self):
+        sketch = make_sketch(hot_threshold=10.0, medium_threshold=3.0)
+        sketch.insert(np.asarray([1, 2, 3]), np.asarray([20.0, 5.0, 1.0]))
+        labels = sketch.classify(np.asarray([1, 2, 3]))
+        assert labels.tolist() == [2, 1, 0]
+
+    def test_hot_features_listing(self):
+        sketch = make_sketch(hot_threshold=5.0)
+        sketch.insert(np.asarray([1, 2, 3]), np.asarray([10.0, 7.0, 1.0]))
+        keys, scores = sketch.hot_features()
+        assert set(keys.tolist()) == {1, 2}
+        assert np.all(scores >= 5.0)
+
+
+class TestDecayAndTopK:
+    def test_decay_scales_scores(self):
+        sketch = make_sketch(decay=0.5)
+        sketch.insert(np.asarray([1]), np.asarray([8.0]))
+        sketch.apply_decay()
+        assert sketch.query(np.asarray([1]))[0] == pytest.approx(4.0)
+
+    def test_decay_of_one_is_noop(self):
+        sketch = make_sketch(decay=1.0)
+        sketch.insert(np.asarray([1]), np.asarray([8.0]))
+        sketch.apply_decay()
+        assert sketch.query(np.asarray([1]))[0] == pytest.approx(8.0)
+
+    def test_top_k_ordering(self):
+        sketch = make_sketch()
+        sketch.insert(np.asarray([1, 2, 3]), np.asarray([5.0, 20.0, 10.0]))
+        assert sketch.top_k(2).tolist() == [2, 3]
+
+    def test_top_k_empty_sketch(self):
+        sketch = make_sketch()
+        assert sketch.top_k(3).size == 0
+
+
+class TestAccuracyOnSkewedStream:
+    @staticmethod
+    def _recall(num_buckets: int, k: int = 128, zipf_exponent: float = 1.3) -> float:
+        num_items = 20_000
+        zipf = ZipfDistribution(num_items, zipf_exponent)
+        stream = zipf.sample(300_000, rng=3)
+        sketch = HotSketch(num_buckets=num_buckets, slots_per_bucket=4, hot_threshold=1.0, seed=2)
+        # Insert in chunks, as the training loop does batch by batch.
+        for start in range(0, stream.size, 4096):
+            sketch.insert(stream[start : start + 4096])
+        counts = np.bincount(stream, minlength=num_items)
+        true_top = set(np.argsort(counts)[::-1][:k].tolist())
+        reported = set(sketch.top_k(k).tolist())
+        return len(true_top & reported) / k
+
+    def test_recall_of_hot_features(self):
+        """With buckets = k and 4 slots (the paper's sizing rule) the sketch
+        retains a clear majority of the true top-k on a Zipf stream."""
+        assert self._recall(num_buckets=128) > 0.55
+
+    def test_recall_improves_with_memory(self):
+        """Doubling the number of buckets (memory) improves recall, matching
+        the monotone trend of the paper's Figure 18(a)."""
+        assert self._recall(num_buckets=512) > self._recall(num_buckets=64)
+
+    def test_recall_high_with_ample_memory(self):
+        assert self._recall(num_buckets=1024) > 0.9
+
+
+class TestCheckpointing:
+    def test_state_roundtrip(self):
+        sketch = make_sketch()
+        sketch.insert(np.arange(100), np.linspace(1, 5, 100))
+        sketch.set_payload(int(sketch.keys[sketch.keys != EMPTY_KEY][0]), 3)
+        state = sketch.state_dict()
+        other = make_sketch()
+        other.load_state_dict(state)
+        assert np.array_equal(other.keys, sketch.keys)
+        assert np.array_equal(other.scores, sketch.scores)
+        assert np.array_equal(other.payloads, sketch.payloads)
+        assert other.total_insertions == sketch.total_insertions
+
+    def test_state_shape_mismatch(self):
+        sketch = make_sketch()
+        other = HotSketch(num_buckets=8, slots_per_bucket=2)
+        with pytest.raises(ValueError):
+            other.load_state_dict(sketch.state_dict())

@@ -1,0 +1,182 @@
+"""Tests for the training loop, configuration and latency helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import DatasetSchema, FieldSchema
+from repro.data.synthetic import SyntheticConfig, SyntheticCTRDataset
+from repro.embeddings.cafe import CafeEmbedding
+from repro.embeddings.full import FullEmbedding
+from repro.models.dlrm import DLRM
+from repro.training.config import TrainingConfig
+from repro.training.latency import measure_latency, measure_sketch_throughput
+from repro.training.trainer import Trainer, TrainingHistory, train_and_evaluate
+from repro.sketch.hotsketch import HotSketch
+
+
+def toy_dataset(num_days=3, samples=1200, seed=0):
+    schema = DatasetSchema(
+        name="toy",
+        fields=[FieldSchema("a", 150), FieldSchema("b", 80), FieldSchema("c", 40)],
+        num_numerical=2,
+        embedding_dim=8,
+        num_days=num_days,
+        zipf_exponent=1.4,
+    )
+    return SyntheticCTRDataset(schema, config=SyntheticConfig(samples_per_day=samples, seed=seed))
+
+
+def toy_model(dataset, seed=0, embedding=None):
+    schema = dataset.schema
+    embedding = embedding or FullEmbedding(schema.num_features, schema.embedding_dim, optimizer="adagrad", learning_rate=0.1, rng=seed)
+    return DLRM(embedding, schema.num_fields, schema.num_numerical, rng=seed)
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        config = TrainingConfig()
+        assert config.batch_size > 0
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(dense_learning_rate=0.0)
+
+
+class TestTrainerBasics:
+    def test_train_step_returns_finite_loss(self):
+        dataset = toy_dataset()
+        trainer = Trainer(toy_model(dataset), TrainingConfig(batch_size=64))
+        batch = dataset.generate_day(0, num_samples=64)
+        loss = trainer.train_step(batch)
+        assert np.isfinite(loss)
+        assert trainer.global_step == 1
+
+    def test_unknown_dense_optimizer(self):
+        dataset = toy_dataset()
+        with pytest.raises(ValueError):
+            Trainer(toy_model(dataset), TrainingConfig(dense_optimizer="rmsprop"))
+
+    def test_training_reduces_loss(self):
+        dataset = toy_dataset()
+        trainer = Trainer(toy_model(dataset), TrainingConfig(batch_size=128, dense_learning_rate=0.01))
+        history = trainer.train_stream(dataset.training_stream(128))
+        early = float(np.mean(history.losses[:5]))
+        late = float(np.mean(history.losses[-5:]))
+        assert late < early
+
+    def test_history_eval_hooks(self):
+        dataset = toy_dataset()
+        trainer = Trainer(toy_model(dataset), TrainingConfig(batch_size=128))
+        test_batch = dataset.test_batch(400)
+        history = trainer.train_stream(
+            dataset.training_stream(128), eval_batch=test_batch, eval_every=5
+        )
+        assert len(history.eval_steps) >= 1
+        assert all(0.0 <= auc <= 1.0 for auc in history.eval_aucs)
+
+    def test_max_steps(self):
+        dataset = toy_dataset()
+        trainer = Trainer(toy_model(dataset), TrainingConfig(batch_size=64))
+        history = trainer.train_stream(dataset.training_stream(64), max_steps=3)
+        assert len(history.losses) == 3
+
+    def test_predict_and_metrics(self):
+        dataset = toy_dataset()
+        trainer = Trainer(toy_model(dataset), TrainingConfig(batch_size=64))
+        batch = dataset.test_batch(500)
+        probs = trainer.predict(batch, batch_size=200)
+        assert probs.shape == (500,)
+        assert 0.0 <= trainer.evaluate_auc(batch) <= 1.0
+        assert trainer.evaluate_log_loss(batch) > 0
+
+    def test_embedding_receives_sparse_updates(self):
+        dataset = toy_dataset()
+        embedding = FullEmbedding(dataset.schema.num_features, 8, learning_rate=0.1, rng=0)
+        model = toy_model(dataset, embedding=embedding)
+        trainer = Trainer(model, TrainingConfig(batch_size=64))
+        table_before = embedding.table.copy()
+        trainer.train_step(dataset.generate_day(0, num_samples=64))
+        assert not np.allclose(embedding.table, table_before)
+
+    def test_works_with_cafe_embedding(self):
+        dataset = toy_dataset()
+        embedding = CafeEmbedding(
+            num_features=dataset.schema.num_features,
+            dim=8,
+            num_hot_rows=16,
+            num_shared_rows=16,
+            rebalance_interval=2,
+            learning_rate=0.1,
+            rng=0,
+        )
+        trainer = Trainer(toy_model(dataset, embedding=embedding), TrainingConfig(batch_size=64))
+        for batch in dataset.day_batches(0, 64):
+            trainer.train_step(batch)
+        assert embedding.sketch.total_insertions > 0
+        assert embedding.step() == trainer.global_step
+
+
+class TestHistory:
+    def test_average_and_smoothing(self):
+        history = TrainingHistory(losses=[1.0, 2.0, 3.0, 4.0], steps=[1, 2, 3, 4])
+        assert history.average_loss == pytest.approx(2.5)
+        smooth = history.smoothed_losses(window=2)
+        assert np.allclose(smooth, [1.5, 2.5, 3.5])
+
+    def test_empty_history(self):
+        history = TrainingHistory()
+        assert np.isnan(history.average_loss)
+        assert history.smoothed_losses().size == 0
+
+
+class TestTrainAndEvaluate:
+    def test_returns_all_metrics(self):
+        dataset = toy_dataset()
+        model = toy_model(dataset)
+        results = train_and_evaluate(
+            model,
+            dataset.training_stream(128),
+            dataset.test_batch(400),
+            config=TrainingConfig(batch_size=128),
+        )
+        assert set(results) >= {"train_loss", "test_auc", "test_log_loss", "history"}
+        assert 0.0 <= results["test_auc"] <= 1.0
+
+    def test_gradient_norm_collection(self):
+        dataset = toy_dataset()
+        model = toy_model(dataset)
+        trainer = Trainer(model, TrainingConfig(batch_size=128))
+        norms = trainer.collect_gradient_norms(
+            dataset.day_batches(0, 128), dataset.schema.num_features
+        )
+        assert norms.shape == (dataset.schema.num_features,)
+        assert norms.sum() > 0
+        # Frequent features should accumulate larger totals than the median feature.
+        counts = np.bincount(
+            dataset.generate_day(0).categorical.reshape(-1), minlength=dataset.schema.num_features
+        )
+        hottest = counts.argmax()
+        assert norms[hottest] > np.median(norms[norms > 0])
+
+
+class TestLatencyHelpers:
+    def test_measure_latency_report(self):
+        dataset = toy_dataset()
+        model = toy_model(dataset)
+        train_batch = dataset.generate_day(0, num_samples=64)
+        infer_batch = dataset.generate_day(0, num_samples=128, seed_offset=3)
+        report = measure_latency(model, train_batch, infer_batch, "full", warmup=1, repeats=2)
+        assert report.train_latency_ms > 0
+        assert report.inference_latency_ms > 0
+        assert report.train_throughput > 0
+        row = report.as_row()
+        assert row["method"] == "full"
+
+    def test_measure_sketch_throughput(self):
+        sketch = HotSketch(num_buckets=64, slots_per_bucket=4)
+        keys = np.random.default_rng(0).integers(0, 1000, size=5000)
+        stats = measure_sketch_throughput(sketch, keys, np.ones(5000), repeats=2)
+        assert stats["insert_ops_per_s"] > 0
+        assert stats["query_ops_per_s"] > 0

@@ -1,0 +1,87 @@
+"""Tests for repro.utils.zipf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.zipf import ZipfDistribution, fit_zipf_exponent, zipf_probabilities
+
+
+class TestZipfProbabilities:
+    def test_normalized(self):
+        probs = zipf_probabilities(1000, 1.1)
+        assert probs.shape == (1000,)
+        assert abs(probs.sum() - 1.0) < 1e-12
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(500, 1.3)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_uniform_when_exponent_zero(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestZipfDistribution:
+    def test_sample_range(self):
+        dist = ZipfDistribution(100, 1.2)
+        samples = dist.sample(10_000, rng=0)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_sample_matches_probabilities(self):
+        dist = ZipfDistribution(50, 1.5)
+        samples = dist.sample(200_000, rng=1)
+        empirical = np.bincount(samples, minlength=50) / 200_000
+        assert np.allclose(empirical, dist.probabilities, atol=0.01)
+
+    def test_head_mass(self):
+        dist = ZipfDistribution(1000, 1.5)
+        assert dist.head_mass(0) == 0.0
+        assert dist.head_mass(1000) == pytest.approx(1.0)
+        assert 0 < dist.head_mass(10) < 1
+
+    def test_determinism_with_seed(self):
+        dist = ZipfDistribution(100, 1.1)
+        assert np.array_equal(dist.sample(100, rng=7), dist.sample(100, rng=7))
+
+    def test_more_skew_more_head_mass(self):
+        flat = ZipfDistribution(1000, 1.05)
+        skewed = ZipfDistribution(1000, 2.0)
+        assert skewed.head_mass(10) > flat.head_mass(10)
+
+
+class TestFitZipfExponent:
+    def test_recovers_planted_exponent(self):
+        true_z = 1.4
+        scores = np.arange(1, 2001, dtype=float) ** -true_z
+        fitted = fit_zipf_exponent(scores)
+        assert abs(fitted - true_z) < 0.05
+
+    def test_rank_window(self):
+        scores = np.arange(1, 1001, dtype=float) ** -1.2
+        fitted = fit_zipf_exponent(scores, min_rank=1, max_rank=100)
+        assert abs(fitted - 1.2) < 0.05
+
+    def test_requires_positive_scores(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(np.zeros(10))
+
+    def test_invalid_window(self):
+        scores = np.arange(1, 101, dtype=float) ** -1.0
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(scores, min_rank=50, max_rank=10)
+
+    @given(exponent=st.floats(min_value=1.05, max_value=2.5))
+    @settings(max_examples=20, deadline=None)
+    def test_fit_property(self, exponent):
+        scores = np.arange(1, 501, dtype=float) ** -exponent
+        fitted = fit_zipf_exponent(scores)
+        assert abs(fitted - exponent) < 0.1
