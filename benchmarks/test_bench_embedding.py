@@ -1,0 +1,28 @@
+"""Embedding hot-path micro-benchmark, wired into the benchmark suite.
+
+Unlike the figure benchmarks this one does not reproduce a paper artifact:
+it tracks the implementation's own train-step and sketch-insert throughput
+(including the speedup against the pre-refactor scalar reference).  The
+timing numbers are machine-dependent, so the report goes to a temp path
+rather than ``benchmarks/results/``; the committed ``BENCH_embedding.json``
+at the repo root holds the full-size reference numbers.
+"""
+
+import json
+
+from repro.bench import BenchConfig, run_benchmarks, write_report
+
+
+def test_bench_embedding_smoke(benchmark, tmp_path):
+    config = BenchConfig.smoke_config()
+    report = benchmark.pedantic(lambda: run_benchmarks(config), rounds=1, iterations=1)
+
+    path = write_report(report, tmp_path / "BENCH_embedding_smoke.json")
+    assert json.loads(path.read_text()) == report
+    print()
+    print(json.dumps(report["results"], indent=2))
+
+    cafe = report["results"]["cafe_train_step"]
+    assert cafe["steps_per_s"] > 0
+    # Every training step reuses the forward pass's routing plan.
+    assert cafe["plan_reuse_rate"] == 0.5

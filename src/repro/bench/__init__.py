@@ -1,0 +1,23 @@
+"""Micro-benchmarks tracking the embedding hot path PR over PR."""
+
+from repro.bench.embedding_bench import (
+    DEFAULT_OUTPUT,
+    BenchConfig,
+    bench_cafe_train_step,
+    bench_hash_train_step,
+    bench_hotsketch_insert,
+    make_workload,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "DEFAULT_OUTPUT",
+    "BenchConfig",
+    "bench_cafe_train_step",
+    "bench_hash_train_step",
+    "bench_hotsketch_insert",
+    "make_workload",
+    "run_benchmarks",
+    "write_report",
+]

@@ -1,0 +1,56 @@
+"""CLI entry point: ``python -m repro.bench [--smoke] [--output PATH]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.bench.embedding_bench import DEFAULT_OUTPUT, BenchConfig, run_benchmarks, write_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Embedding hot-path micro-benchmarks (writes BENCH_embedding.json)",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workload: small batches, few steps")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"report path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--steps", type=int, default=None, help="timed steps per benchmark")
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--num-features", type=int, default=None)
+    parser.add_argument("--dim", type=int, default=None)
+    parser.add_argument("--dtype", default=None, choices=["float32", "float64"])
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    overrides = {
+        key: value
+        for key, value in {
+            "steps": args.steps,
+            "batch_size": args.batch_size,
+            "num_features": args.num_features,
+            "dim": args.dim,
+            "dtype": args.dtype,
+            "seed": args.seed,
+        }.items()
+        if value is not None
+    }
+    try:
+        config = BenchConfig.smoke_config(**overrides) if args.smoke else BenchConfig(**overrides)
+    except ValueError as exc:
+        parser.error(str(exc))
+    report = run_benchmarks(config)
+    try:
+        path = write_report(report, args.output)
+    except OSError as exc:
+        print(json.dumps(report, indent=2))
+        parser.error(f"cannot write report to '{args.output}': {exc}")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

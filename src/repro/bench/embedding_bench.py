@@ -1,0 +1,182 @@
+"""Micro-benchmark harness for the embedding hot path.
+
+Times the embedding-layer training step (lookup + apply_gradients, the code
+path the routing-plan refactor targets) on the CAFE Zipf workload and
+compares it against the pre-refactor reference implementation preserved in
+:mod:`repro.bench.legacy`.  Results are written to ``BENCH_embedding.json``
+so the performance trajectory is tracked PR over PR.
+
+Run it with::
+
+    PYTHONPATH=src python -m repro.bench --smoke   # CI-sized
+    PYTHONPATH=src python -m repro.bench           # full numbers
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.legacy import LegacyCafeEmbedding, LegacyHotSketch
+from repro.embeddings.cafe import CafeEmbedding
+from repro.embeddings.hash_embedding import HashEmbedding
+from repro.embeddings.memory import MemoryBudget
+from repro.sketch.hotsketch import HotSketch
+from repro.utils.zipf import ZipfDistribution
+
+DEFAULT_OUTPUT = "BENCH_embedding.json"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Size of the Zipf training workload driven through each layer."""
+
+    num_features: int = 100_000
+    dim: int = 16
+    batch_size: int = 2048
+    steps: int = 50
+    warmup_steps: int = 5
+    zipf_exponent: float = 1.05
+    compression_ratio: float = 10.0
+    dtype: str = "float32"
+    seed: int = 0
+    smoke: bool = False
+
+    def __post_init__(self):
+        if self.steps <= 0:
+            raise ValueError(f"steps must be positive, got {self.steps}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be non-negative, got {self.warmup_steps}")
+
+    @classmethod
+    def smoke_config(cls, **overrides) -> "BenchConfig":
+        defaults = dict(num_features=20_000, batch_size=512, steps=8, warmup_steps=2, smoke=True)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def as_dict(self) -> dict:
+        return {
+            "num_features": self.num_features,
+            "dim": self.dim,
+            "batch_size": self.batch_size,
+            "steps": self.steps,
+            "zipf_exponent": self.zipf_exponent,
+            "compression_ratio": self.compression_ratio,
+            "dtype": self.dtype,
+            "seed": self.seed,
+            "smoke": self.smoke,
+        }
+
+
+def make_workload(config: BenchConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Zipf-distributed id stream + synthetic per-lookup gradients.
+
+    Returns ``(ids, grads)`` of shapes ``(steps, batch)`` and
+    ``(steps, batch, dim)`` covering warmup and timed steps.
+    """
+    total_steps = config.steps + config.warmup_steps
+    zipf = ZipfDistribution(config.num_features, config.zipf_exponent)
+    ids = zipf.sample(total_steps * config.batch_size, rng=config.seed)
+    ids = ids.reshape(total_steps, config.batch_size)
+    rng = np.random.default_rng(config.seed + 1)
+    grads = rng.normal(scale=0.1, size=(total_steps, config.batch_size, config.dim))
+    return ids, grads.astype(np.float32)
+
+
+def _make_cafe(config: BenchConfig, cls=CafeEmbedding):
+    budget = MemoryBudget.from_compression_ratio(
+        config.num_features, config.dim, config.compression_ratio
+    )
+    return cls.from_budget(budget, dtype=config.dtype, rng=config.seed)
+
+
+def _time_train_steps(embedding, ids: np.ndarray, grads: np.ndarray, warmup: int) -> float:
+    """Drive lookup + apply_gradients over the workload; returns seconds/step."""
+    for step in range(warmup):
+        embedding.lookup(ids[step])
+        embedding.apply_gradients(ids[step], grads[step])
+    timed = ids.shape[0] - warmup
+    start = time.perf_counter()
+    for step in range(warmup, ids.shape[0]):
+        embedding.lookup(ids[step])
+        embedding.apply_gradients(ids[step], grads[step])
+    return (time.perf_counter() - start) / timed
+
+
+def bench_cafe_train_step(config: BenchConfig) -> dict:
+    """CAFE train-step throughput, vectorized vs. pre-refactor baseline."""
+    ids, grads = make_workload(config)
+    current = _make_cafe(config, CafeEmbedding)
+    legacy = _make_cafe(config, LegacyCafeEmbedding)
+    seconds = _time_train_steps(current, ids, grads, config.warmup_steps)
+    baseline_seconds = _time_train_steps(legacy, ids, grads, config.warmup_steps)
+    return {
+        "steps_per_s": round(1.0 / seconds, 2),
+        "rows_per_s": round(config.batch_size / seconds, 1),
+        "baseline_steps_per_s": round(1.0 / baseline_seconds, 2),
+        "speedup_vs_baseline": round(baseline_seconds / seconds, 3),
+        "plan_reuse_rate": current.plan_stats.reuse_rate,
+    }
+
+
+def bench_hash_train_step(config: BenchConfig) -> dict:
+    """Hash-embedding train-step throughput (the paper's fastest baseline)."""
+    ids, grads = make_workload(config)
+    rows = max(int(config.num_features / config.compression_ratio), 1)
+    embedding = HashEmbedding(
+        config.num_features, config.dim, num_rows=rows, dtype=config.dtype, rng=config.seed
+    )
+    seconds = _time_train_steps(embedding, ids, grads, config.warmup_steps)
+    return {
+        "steps_per_s": round(1.0 / seconds, 2),
+        "rows_per_s": round(config.batch_size / seconds, 1),
+        "plan_reuse_rate": embedding.plan_stats.reuse_rate,
+    }
+
+
+def bench_hotsketch_insert(config: BenchConfig) -> dict:
+    """Raw sketch insertion throughput, vectorized vs. scalar misses."""
+    ids, _ = make_workload(config)
+    scores = np.abs(np.random.default_rng(config.seed + 2).normal(size=ids.shape)) + 0.01
+    num_buckets = max(config.num_features // 100, 16)
+
+    def run(sketch_cls) -> float:
+        sketch = sketch_cls(num_buckets=num_buckets, slots_per_bucket=4, hot_threshold=1.0, seed=3)
+        start = time.perf_counter()
+        for step in range(ids.shape[0]):
+            sketch.insert(ids[step], scores[step])
+        return time.perf_counter() - start
+
+    seconds = run(HotSketch)
+    baseline_seconds = run(LegacyHotSketch)
+    total_keys = ids.size
+    return {
+        "keys_per_s": round(total_keys / seconds, 1),
+        "baseline_keys_per_s": round(total_keys / baseline_seconds, 1),
+        "speedup_vs_baseline": round(baseline_seconds / seconds, 3),
+    }
+
+
+def run_benchmarks(config: BenchConfig) -> dict:
+    """Run every micro-benchmark; returns the JSON-ready report."""
+    return {
+        "schema_version": 1,
+        "workload": config.as_dict(),
+        "results": {
+            "cafe_train_step": bench_cafe_train_step(config),
+            "hash_train_step": bench_hash_train_step(config),
+            "hotsketch_insert": bench_hotsketch_insert(config),
+        },
+    }
+
+
+def write_report(report: dict, output: str | Path = DEFAULT_OUTPUT) -> Path:
+    path = Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path

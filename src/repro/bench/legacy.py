@@ -1,0 +1,108 @@
+"""Pre-refactor reference implementations used as benchmark baselines.
+
+These classes preserve the seed implementation's per-key Python loops and
+duplicated hash/locate work so the micro-benchmark can report the speedup of
+the vectorized routing-plan engine against a faithful "before" on identical
+workloads.  They are *not* part of the library API and must never be used by
+experiments — only :mod:`repro.bench` imports them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.cafe import CafeEmbedding
+from repro.embeddings.plan import RoutingPlan
+from repro.sketch.hotsketch import EMPTY_KEY, NO_PAYLOAD, EvictionBatch, HotSketch
+
+
+class LegacyHotSketch(HotSketch):
+    """HotSketch with the seed's scalar miss-handling loop."""
+
+    def _insert_misses(
+        self, keys: np.ndarray, scores: np.ndarray, buckets: np.ndarray
+    ) -> EvictionBatch:
+        evicted_keys: list[int] = []
+        evicted_payloads: list[int] = []
+        for key, score, bucket in zip(keys, scores, buckets):
+            bucket_keys = self.keys[bucket]
+            empty = np.nonzero(bucket_keys == EMPTY_KEY)[0]
+            if empty.size > 0:
+                slot = int(empty[0])
+                self.keys[bucket, slot] = key
+                self.scores[bucket, slot] = score
+                self.payloads[bucket, slot] = NO_PAYLOAD
+                continue
+            slot = int(np.argmin(self.scores[bucket]))
+            old_key = int(self.keys[bucket, slot])
+            old_payload = int(self.payloads[bucket, slot])
+            if old_payload != NO_PAYLOAD:
+                evicted_keys.append(old_key)
+                evicted_payloads.append(old_payload)
+            self.keys[bucket, slot] = key
+            self.scores[bucket, slot] += score
+            self.payloads[bucket, slot] = NO_PAYLOAD
+        return EvictionBatch(
+            np.asarray(evicted_keys, dtype=np.int64),
+            np.asarray(evicted_payloads, dtype=np.int64),
+        )
+
+
+class LegacyCafeEmbedding(CafeEmbedding):
+    """CAFE with the seed's per-key loops and no routing-plan reuse."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Swap in the scalar sketch, keeping the configured geometry.
+        self.sketch = LegacyHotSketch(
+            num_buckets=self.num_hot_rows,
+            slots_per_bucket=self.slots_per_bucket,
+            hot_threshold=self.hot_threshold,
+            decay=self.decay,
+            seed=self.sketch.seed,
+        )
+
+    def plan_for(self, ids: np.ndarray) -> RoutingPlan:
+        # The seed recomputed routing in lookup AND apply_gradients: model
+        # that by discarding the cached plan before every request.
+        self._cached_plan = None
+        return super().plan_for(ids)
+
+    def _release_rows(self, rows: np.ndarray) -> None:
+        for row in rows.tolist():
+            if row >= 0:
+                self._free_rows.append(int(row))
+                self.migrations_out += 1
+
+    def _rebalance(self) -> None:
+        keys = self.sketch.keys
+        scores = self.sketch.scores
+        payloads = self.sketch.payloads
+        occupied = keys != -1
+
+        demote_mask = (
+            occupied & (payloads != NO_PAYLOAD) & (scores < self.hot_threshold / self.hysteresis)
+        )
+        if demote_mask.any():
+            released = payloads[demote_mask]
+            self.sketch.payloads[demote_mask] = NO_PAYLOAD
+            self._release_rows(released)
+
+        if not self._free_rows:
+            return
+
+        promote_mask = occupied & (payloads == NO_PAYLOAD) & (scores >= self.hot_threshold)
+        if not promote_mask.any():
+            return
+        buckets, slots = np.nonzero(promote_mask)
+        order = np.argsort(scores[buckets, slots])[::-1]
+        for index in order:
+            if not self._free_rows:
+                break
+            bucket, slot = int(buckets[index]), int(slots[index])
+            row = self._free_rows.pop()
+            feature = int(keys[bucket, slot])
+            self.sketch.payloads[bucket, slot] = row
+            self.hot_table[row] = self._shared_lookup(np.asarray([feature]))[0]
+            self._hot_optimizer.reset_rows(np.asarray([row]))
+            self.migrations_in += 1

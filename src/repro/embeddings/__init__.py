@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.embeddings.ada_embed import AdaEmbed
-from repro.embeddings.base import CompressedEmbedding, TableBackedEmbedding
+from repro.embeddings.base import DEFAULT_DTYPE, CompressedEmbedding, TableBackedEmbedding
 from repro.embeddings.cafe import CafeEmbedding
 from repro.embeddings.cafe_ml import CafeMultiLevelEmbedding
 from repro.embeddings.full import FullEmbedding
@@ -17,6 +17,7 @@ from repro.embeddings.memory import (
 )
 from repro.embeddings.mde import MixedDimensionEmbedding
 from repro.embeddings.offline import OfflineSeparationEmbedding
+from repro.embeddings.plan import FreeRowPool, PlanStats, RoutingPlan
 from repro.embeddings.qr_embedding import QRTrickEmbedding
 from repro.embeddings.quantized import QuantizedEmbedding
 
@@ -42,6 +43,7 @@ def create_embedding(
     frequencies: np.ndarray | None = None,
     optimizer: str = "sgd",
     learning_rate: float = 0.05,
+    dtype: np.dtype | str = DEFAULT_DTYPE,
     rng=None,
     **kwargs,
 ) -> CompressedEmbedding:
@@ -66,7 +68,7 @@ def create_embedding(
     lowered = method.lower()
     if lowered not in METHOD_NAMES:
         raise ValueError(f"unknown embedding method '{method}'; expected one of {METHOD_NAMES}")
-    common = {"optimizer": optimizer, "learning_rate": learning_rate, "rng": rng}
+    common = {"optimizer": optimizer, "learning_rate": learning_rate, "dtype": dtype, "rng": rng}
     if lowered == "full":
         return FullEmbedding(num_features, dim, **common)
     budget = MemoryBudget.from_compression_ratio(num_features, dim, compression_ratio)

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.embeddings.base import TableBackedEmbedding
+from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
 from repro.embeddings.memory import MemoryBudget
+from repro.embeddings.plan import FreeRowPool
 from repro.errors import MemoryBudgetError
 from repro.nn.init import embedding_uniform
 from repro.utils.hashing import hash_to_range
@@ -46,9 +47,12 @@ class AdaEmbed(TableBackedEmbedding):
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
         hash_seed: int = 29,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ):
-        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        super().__init__(
+            num_features, dim, optimizer=optimizer, learning_rate=learning_rate, dtype=dtype
+        )
         if num_rows <= 0:
             raise ValueError(f"num_rows must be positive, got {num_rows}")
         if not 0.0 < importance_decay <= 1.0:
@@ -66,8 +70,8 @@ class AdaEmbed(TableBackedEmbedding):
         self.hash_seed = int(hash_seed)
 
         # Exclusive rows for allocated features and a small shared fallback.
-        self.table = embedding_uniform((self.num_rows, dim), generator)
-        self.shared_table = embedding_uniform((self.shared_rows, dim), generator)
+        self.table = embedding_uniform((self.num_rows, dim), generator, dtype=self.dtype)
+        self.shared_table = embedding_uniform((self.shared_rows, dim), generator, dtype=self.dtype)
         self._optimizer = self._new_row_optimizer()
         self._shared_optimizer = self._new_row_optimizer()
 
@@ -75,7 +79,7 @@ class AdaEmbed(TableBackedEmbedding):
         self.importance = np.zeros(num_features, dtype=np.float64)
         self.row_of = np.full(num_features, UNALLOCATED, dtype=np.int64)
         self.owner_of = np.full(self.num_rows, UNALLOCATED, dtype=np.int64)
-        self._free_rows: list[int] = list(range(self.num_rows))
+        self._free_rows = FreeRowPool(self.num_rows)
         self.reallocation_count = 0
 
     # ------------------------------------------------------------------ #
@@ -89,6 +93,7 @@ class AdaEmbed(TableBackedEmbedding):
         reallocation_interval: int = 100,
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ) -> "AdaEmbed":
         """Size the row table after reserving one importance float per feature."""
@@ -108,29 +113,36 @@ class AdaEmbed(TableBackedEmbedding):
             reallocation_interval=reallocation_interval,
             optimizer=optimizer,
             learning_rate=learning_rate,
+            dtype=dtype,
             rng=rng,
         )
 
     # ------------------------------------------------------------------ #
     # Lookup / update
     # ------------------------------------------------------------------ #
-    def lookup(self, ids: np.ndarray) -> np.ndarray:
-        ids = self._check_ids(ids)
-        flat_ids, _ = self._flatten(ids)
+    def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
         rows = self.row_of[flat_ids]
         allocated = rows != UNALLOCATED
-        out = np.empty((flat_ids.shape[0], self.dim), dtype=np.float64)
+        shared_rows = hash_to_range(flat_ids[~allocated], self.shared_rows, seed=self.hash_seed)
+        return {"rows": rows, "allocated": allocated, "shared_rows": shared_rows}
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        plan = self.plan_for(ids)
+        rows, allocated = plan.routes["rows"], plan.routes["allocated"]
+        out = np.empty((len(plan), self.dim), dtype=self.dtype)
         if allocated.any():
             out[allocated] = self.table[rows[allocated]]
         if (~allocated).any():
-            shared_rows = hash_to_range(flat_ids[~allocated], self.shared_rows, seed=self.hash_seed)
-            out[~allocated] = self.shared_table[shared_rows]
-        return out.reshape(ids.shape + (self.dim,))
+            out[~allocated] = self.shared_table[plan.routes["shared_rows"]]
+        return out.reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
-        flat_ids, flat_grads = self._flatten(ids, grads)
+        plan = self.plan_for(ids)
+        flat_ids = plan.flat_ids
+        flat_grads = grads.reshape(len(plan), -1)
 
         # Importance update: decayed running sum of per-lookup gradient norms.
         norms = np.linalg.norm(flat_grads, axis=1)
@@ -141,13 +153,13 @@ class AdaEmbed(TableBackedEmbedding):
         self.importance[unique_ids] += summed_norms
 
         # Parameter updates for allocated and shared rows.
-        rows = self.row_of[flat_ids]
-        allocated = rows != UNALLOCATED
+        rows, allocated = plan.routes["rows"], plan.routes["allocated"]
         if allocated.any():
             self._optimizer.update(self.table, rows[allocated], flat_grads[allocated])
         if (~allocated).any():
-            shared_rows = hash_to_range(flat_ids[~allocated], self.shared_rows, seed=self.hash_seed)
-            self._shared_optimizer.update(self.shared_table, shared_rows, flat_grads[~allocated])
+            self._shared_optimizer.update(
+                self.shared_table, plan.routes["shared_rows"], flat_grads[~allocated]
+            )
 
         self._step += 1
         if self._step % self.reallocation_interval == 0:
@@ -193,6 +205,8 @@ class AdaEmbed(TableBackedEmbedding):
             self.row_of[feature_in] = row
             self.owner_of[row] = feature_in
             self.reallocation_count += 1
+        # Row assignments changed; cached routing plans are stale.
+        self.invalidate_plan()
 
     def num_allocated(self) -> int:
         return int((self.row_of != UNALLOCATED).sum())

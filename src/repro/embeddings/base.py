@@ -19,20 +19,33 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.embeddings.plan import PlanStats, RoutingPlan
 from repro.nn.optim import RowOptimizer, make_row_optimizer
+
+#: Table storage dtype used unless a layer opts out.  The paper's memory
+#: accounting is in float32-equivalent slots, so float32 storage makes the
+#: real memory footprint match the reported one; ``float64`` remains an
+#: opt-in for precision-sensitive repro runs.
+DEFAULT_DTYPE = np.float32
 
 
 class CompressedEmbedding:
     """Abstract base class for all embedding schemes in this library."""
 
-    def __init__(self, num_features: int, dim: int):
+    def __init__(self, num_features: int, dim: int, dtype: np.dtype | str = DEFAULT_DTYPE):
         if num_features <= 0:
             raise ValueError(f"num_features must be positive, got {num_features}")
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.num_features = int(num_features)
         self.dim = int(dim)
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError(f"dtype must be a float type, got {self.dtype}")
         self._step = 0
+        self._cached_plan: RoutingPlan | None = None
+        self._routing_version = 0
+        self.plan_stats = PlanStats()
 
     # ------------------------------------------------------------------ #
     # Required interface
@@ -60,6 +73,54 @@ class CompressedEmbedding:
         raise NotImplementedError  # pragma: no cover - abstract
 
     # ------------------------------------------------------------------ #
+    # Routing plans
+    # ------------------------------------------------------------------ #
+    def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        """Backend-specific routing arrays for a flat id batch.
+
+        Subclasses that participate in plan caching override this with the
+        hashing/locating work that would otherwise run twice per step.
+        """
+        return {}
+
+    def _routing_token(self) -> object:
+        """Identity of the routing-relevant state a cached plan depends on.
+
+        Backends whose routing changes as they train (sketch insertions,
+        row migration) bump :attr:`_routing_version` on every such mutation;
+        backends with richer invalidation needs can override this.
+        """
+        return self._routing_version
+
+    def invalidate_plan(self) -> None:
+        """Force the next :meth:`plan_for` call to rebuild the routing."""
+        self._routing_version += 1
+        self._cached_plan = None
+
+    def plan_for(self, ids: np.ndarray) -> RoutingPlan:
+        """Return the routing plan for ``ids``, reusing the cached one.
+
+        ``lookup`` builds the plan, ``apply_gradients`` receives the same id
+        batch an instant later and gets a cache hit, so the hash + locate
+        pass runs once per training step.
+        """
+        token = self._routing_token()
+        cached = self._cached_plan
+        if cached is not None and cached.matches(ids, token):
+            self.plan_stats.hits += 1
+            return cached
+        self.plan_stats.misses += 1
+        flat_ids = ids.reshape(-1)
+        plan = RoutingPlan(
+            flat_ids=flat_ids.copy(),
+            ids_shape=ids.shape,
+            routes=self._build_routes(flat_ids),
+            token=token,
+        )
+        self._cached_plan = plan
+        return plan
+
+    # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
     def step(self) -> int:
@@ -80,7 +141,9 @@ class CompressedEmbedding:
         return ids
 
     def _check_grads(self, ids: np.ndarray, grads: np.ndarray) -> np.ndarray:
-        grads = np.asarray(grads, dtype=np.float64)
+        grads = np.asarray(grads)
+        if grads.dtype != self.dtype:
+            grads = grads.astype(self.dtype)
         expected = ids.shape + (self.dim,)
         if grads.shape != expected:
             raise ValueError(f"gradient shape {grads.shape} does not match {expected}")
@@ -99,6 +162,7 @@ class CompressedEmbedding:
             "method": type(self).__name__,
             "num_features": self.num_features,
             "dim": self.dim,
+            "dtype": str(self.dtype),
             "memory_floats": self.memory_floats(),
             "compression_ratio": round(self.compression_ratio(), 2),
         }
@@ -113,8 +177,9 @@ class TableBackedEmbedding(CompressedEmbedding):
         dim: int,
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
     ):
-        super().__init__(num_features, dim)
+        super().__init__(num_features, dim, dtype=dtype)
         self.optimizer_name = optimizer
         self.learning_rate = float(learning_rate)
 

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.embeddings.base import TableBackedEmbedding
+from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
 from repro.embeddings.memory import MemoryBudget
+from repro.embeddings.plan import FreeRowPool
 from repro.nn.init import embedding_uniform
 from repro.sketch.hotsketch import NO_PAYLOAD, HotSketch
 from repro.utils.hashing import hash_to_range
@@ -61,9 +62,12 @@ class CafeEmbedding(TableBackedEmbedding):
         learning_rate: float = 0.05,
         hash_seed: int = 101,
         sketch_seed: int = 7,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ):
-        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        super().__init__(
+            num_features, dim, optimizer=optimizer, learning_rate=learning_rate, dtype=dtype
+        )
         if num_hot_rows <= 0:
             raise ValueError(f"num_hot_rows must be positive, got {num_hot_rows}")
         if num_shared_rows <= 0:
@@ -91,9 +95,9 @@ class CafeEmbedding(TableBackedEmbedding):
             decay=self.decay,
             seed=sketch_seed,
         )
-        self.hot_table = embedding_uniform((self.num_hot_rows, dim), generator)
+        self.hot_table = embedding_uniform((self.num_hot_rows, dim), generator, dtype=self.dtype)
         self._hot_optimizer = self._new_row_optimizer()
-        self._free_rows: list[int] = list(range(self.num_hot_rows))
+        self._free_rows = FreeRowPool(self.num_hot_rows)
         self.migrations_in = 0
         self.migrations_out = 0
 
@@ -103,19 +107,33 @@ class CafeEmbedding(TableBackedEmbedding):
     # Shared-table hooks (overridden by the multi-level variant)
     # ------------------------------------------------------------------ #
     def _init_shared_tables(self, rng: np.random.Generator) -> None:
-        self.shared_table = embedding_uniform((self.num_shared_rows, self.dim), rng)
+        self.shared_table = embedding_uniform((self.num_shared_rows, self.dim), rng, dtype=self.dtype)
         self._shared_optimizer = self._new_row_optimizer()
 
+    def _shared_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        """Routing of non-hot ids through the shared table(s)."""
+        return {"shared_rows": hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)}
+
+    def _shared_lookup_routed(self, routes: dict[str, np.ndarray]) -> np.ndarray:
+        return self.shared_table[routes["shared_rows"]]
+
+    def _shared_update_routed(self, routes: dict[str, np.ndarray], grads: np.ndarray) -> None:
+        self._shared_optimizer.update(self.shared_table, routes["shared_rows"], grads)
+
     def _shared_lookup(self, flat_ids: np.ndarray) -> np.ndarray:
-        rows = hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)
-        return self.shared_table[rows]
+        return self._shared_lookup_routed(self._shared_routes(flat_ids))
 
     def _shared_update(self, flat_ids: np.ndarray, grads: np.ndarray) -> None:
-        rows = hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)
-        self._shared_optimizer.update(self.shared_table, rows, grads)
+        self._shared_update_routed(self._shared_routes(flat_ids), grads)
 
     def _shared_memory_floats(self) -> int:
         return int(self.shared_table.size)
+
+    def _shared_state_dict(self) -> dict[str, np.ndarray]:
+        return {"shared_table": self.shared_table.copy()}
+
+    def _load_shared_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.shared_table = np.asarray(state["shared_table"], dtype=self.dtype).copy()
 
     # ------------------------------------------------------------------ #
     # Budget-driven construction
@@ -174,19 +192,35 @@ class CafeEmbedding(TableBackedEmbedding):
         return num_hot, min(num_shared, budget.num_features)
 
     # ------------------------------------------------------------------ #
+    # Routing plan (shared by lookup and apply_gradients)
+    # ------------------------------------------------------------------ #
+    def _routing_token(self) -> object:
+        # Any sketch insertion can move a feature between the hot and shared
+        # paths, so the cached plan is tied to the insertion count as well as
+        # to explicit invalidation (migration, checkpoint load).
+        return (self._routing_version, self.sketch.total_insertions)
+
+    def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        payloads = self.sketch.get_payloads(flat_ids)
+        hot_mask = payloads != NO_PAYLOAD
+        routes = {"payloads": payloads, "hot_mask": hot_mask}
+        routes.update(self._shared_routes(flat_ids[~hot_mask]))
+        return routes
+
+    # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
     def lookup(self, ids: np.ndarray) -> np.ndarray:
         ids = self._check_ids(ids)
-        flat_ids, _ = self._flatten(ids)
-        payloads = self.sketch.get_payloads(flat_ids)
-        hot_mask = payloads != NO_PAYLOAD
-        out = np.empty((flat_ids.shape[0], self.dim), dtype=np.float64)
+        plan = self.plan_for(ids)
+        routes = plan.routes
+        hot_mask = routes["hot_mask"]
+        out = np.empty((len(plan), self.dim), dtype=self.dtype)
         if hot_mask.any():
-            out[hot_mask] = self.hot_table[payloads[hot_mask]]
+            out[hot_mask] = self.hot_table[routes["payloads"][hot_mask]]
         if (~hot_mask).any():
-            out[~hot_mask] = self._shared_lookup(flat_ids[~hot_mask])
-        return out.reshape(ids.shape + (self.dim,))
+            out[~hot_mask] = self._shared_lookup_routed(routes)
+        return out.reshape(plan.ids_shape + (self.dim,))
 
     # ------------------------------------------------------------------ #
     # Gradient application + sketch maintenance
@@ -194,15 +228,21 @@ class CafeEmbedding(TableBackedEmbedding):
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
-        flat_ids, flat_grads = self._flatten(ids, grads)
+        # The plan built by the forward pass is reused here (cache hit), so
+        # the bucket hash + slot locate run once per training step.
+        plan = self.plan_for(ids)
+        flat_ids = plan.flat_ids
+        flat_grads = grads.reshape(len(plan), -1)
 
         # 1. Parameter update using the assignment that produced the forward pass.
-        payloads = self.sketch.get_payloads(flat_ids)
-        hot_mask = payloads != NO_PAYLOAD
+        routes = plan.routes
+        hot_mask = routes["hot_mask"]
         if hot_mask.any():
-            self._hot_optimizer.update(self.hot_table, payloads[hot_mask], flat_grads[hot_mask])
+            self._hot_optimizer.update(
+                self.hot_table, routes["payloads"][hot_mask], flat_grads[hot_mask]
+            )
         if (~hot_mask).any():
-            self._shared_update(flat_ids[~hot_mask], flat_grads[~hot_mask])
+            self._shared_update_routed(routes, flat_grads[~hot_mask])
 
         # 2. Importance scores: gradient norms (or raw frequency for the ablation).
         if self.use_frequency:
@@ -223,15 +263,13 @@ class CafeEmbedding(TableBackedEmbedding):
             if self.adaptive_threshold:
                 self._update_threshold()
             self._rebalance()
+        self.invalidate_plan()
 
     # ------------------------------------------------------------------ #
     # Migration machinery (§3.3)
     # ------------------------------------------------------------------ #
     def _release_rows(self, rows: np.ndarray) -> None:
-        for row in rows.tolist():
-            if row >= 0:
-                self._free_rows.append(int(row))
-                self.migrations_out += 1
+        self.migrations_out += self._free_rows.release(rows)
 
     def _update_threshold(self) -> None:
         """Track the score of the ``num_hot_rows``-th hottest recorded feature.
@@ -276,23 +314,26 @@ class CafeEmbedding(TableBackedEmbedding):
 
         # Non-hot -> hot: promote the highest-scoring candidates above the
         # threshold into the free rows (demotion uses the lower edge of the
-        # hysteresis band, so borderline features do not bounce).
+        # hysteresis band, so borderline features do not bounce).  All
+        # promotions of one rebalance happen as a single batched
+        # shared-lookup + one reset_rows call.
         promote_mask = occupied & (payloads == NO_PAYLOAD) & (scores >= self.hot_threshold)
         if not promote_mask.any():
             return
         buckets, slots = np.nonzero(promote_mask)
-        order = np.argsort(scores[buckets, slots])[::-1]
-        for index in order:
-            if not self._free_rows:
-                break
-            bucket, slot = int(buckets[index]), int(slots[index])
-            row = self._free_rows.pop()
-            feature = int(keys[bucket, slot])
-            self.sketch.payloads[bucket, slot] = row
-            # Initialize from the shared embedding so training stays smooth.
-            self.hot_table[row] = self._shared_lookup(np.asarray([feature]))[0]
-            self._hot_optimizer.reset_rows(np.asarray([row]))
-            self.migrations_in += 1
+        order = np.argsort(scores[buckets, slots], kind="stable")[::-1]
+        rows = self._free_rows.claim(order.size)
+        if rows.size == 0:
+            return
+        chosen = order[: rows.size]
+        buckets, slots = buckets[chosen], slots[chosen]
+        features = keys[buckets, slots]
+        self.sketch.payloads[buckets, slots] = rows
+        # Initialize from the shared embeddings so training stays smooth.
+        self.hot_table[rows] = self._shared_lookup(features)
+        self._hot_optimizer.reset_rows(rows)
+        self.migrations_in += int(rows.size)
+        self.invalidate_plan()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -304,6 +345,21 @@ class CafeEmbedding(TableBackedEmbedding):
     def num_hot_features(self) -> int:
         return self.num_hot_rows - len(self._free_rows)
 
+    def check_row_invariants(self) -> None:
+        """Assert free rows + sketch-assigned rows exactly partition the hot table.
+
+        Used by tests to prove rows are never leaked (lost from both sides)
+        or double-assigned (present in the pool *and* a sketch slot) across
+        insert/evict/rebalance cycles.
+        """
+        self._free_rows.assert_consistent(self.num_hot_rows)
+        assigned = self.sketch.payloads[self.sketch.payloads != NO_PAYLOAD]
+        if assigned.size != np.unique(assigned).size:
+            raise AssertionError("two sketch slots point at the same exclusive row")
+        combined = np.concatenate([assigned, self._free_rows.to_array()])
+        if combined.size != self.num_hot_rows or np.unique(combined).size != self.num_hot_rows:
+            raise AssertionError("exclusive rows leaked or double-assigned")
+
     def memory_floats(self) -> int:
         return int(self.hot_table.size + self._shared_memory_floats() + self.sketch.memory_floats())
 
@@ -313,19 +369,21 @@ class CafeEmbedding(TableBackedEmbedding):
     def state_dict(self) -> dict[str, np.ndarray]:
         state = {
             "hot_table": self.hot_table.copy(),
-            "shared_table": self.shared_table.copy(),
-            "free_rows": np.asarray(self._free_rows, dtype=np.int64),
+            "free_rows": self._free_rows.to_array(),
             "hot_threshold": np.asarray(self.hot_threshold),
             "step": np.asarray(self._step),
         }
+        # Shared-table storage goes through the hook so subclasses with more
+        # tables (e.g. the multi-level variant) checkpoint them too.
+        state.update(self._shared_state_dict())
         for key, value in self.sketch.state_dict().items():
             state[f"sketch.{key}"] = value
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        self.hot_table = np.asarray(state["hot_table"], dtype=np.float64).copy()
-        self.shared_table = np.asarray(state["shared_table"], dtype=np.float64).copy()
-        self._free_rows = [int(r) for r in np.asarray(state["free_rows"], dtype=np.int64)]
+        self.hot_table = np.asarray(state["hot_table"], dtype=self.dtype).copy()
+        self._load_shared_state_dict(state)
+        self._free_rows = FreeRowPool(np.asarray(state["free_rows"], dtype=np.int64))
         self.hot_threshold = float(state["hot_threshold"])
         self._step = int(state["step"])
         sketch_state = {
@@ -333,3 +391,4 @@ class CafeEmbedding(TableBackedEmbedding):
         }
         self.sketch.load_state_dict(sketch_state)
         self.sketch.hot_threshold = self.hot_threshold
+        self.invalidate_plan()

@@ -52,7 +52,9 @@ class CafeMultiLevelEmbedding(CafeEmbedding):
     # ------------------------------------------------------------------ #
     def _init_shared_tables(self, rng: np.random.Generator) -> None:
         super()._init_shared_tables(rng)
-        self.secondary_table = embedding_uniform((self.num_secondary_rows, self.dim), rng)
+        self.secondary_table = embedding_uniform(
+            (self.num_secondary_rows, self.dim), rng, dtype=self.dtype
+        )
         self._secondary_optimizer = self._new_row_optimizer()
 
     @property
@@ -64,27 +66,30 @@ class CafeMultiLevelEmbedding(CafeEmbedding):
         scores = self.sketch.query(flat_ids)
         return scores >= self.medium_threshold
 
-    def _shared_lookup(self, flat_ids: np.ndarray) -> np.ndarray:
-        primary_rows = hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)
-        out = self.shared_table[primary_rows].copy()
+    def _shared_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        routes = super()._shared_routes(flat_ids)
         medium = self._medium_mask(flat_ids)
+        routes["medium_mask"] = medium
+        routes["secondary_rows"] = hash_to_range(
+            flat_ids[medium], self.num_secondary_rows, seed=self.hash_seed + 1
+        )
+        return routes
+
+    def _shared_lookup_routed(self, routes: dict[str, np.ndarray]) -> np.ndarray:
+        out = self.shared_table[routes["shared_rows"]].copy()
+        medium = routes["medium_mask"]
         if medium.any():
-            secondary_rows = hash_to_range(
-                flat_ids[medium], self.num_secondary_rows, seed=self.hash_seed + 1
-            )
-            out[medium] += self.secondary_table[secondary_rows]
+            out[medium] += self.secondary_table[routes["secondary_rows"]]
         return out
 
-    def _shared_update(self, flat_ids: np.ndarray, grads: np.ndarray) -> None:
-        primary_rows = hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)
-        self._shared_optimizer.update(self.shared_table, primary_rows, grads)
-        medium = self._medium_mask(flat_ids)
+    def _shared_update_routed(self, routes: dict[str, np.ndarray], grads: np.ndarray) -> None:
+        self._shared_optimizer.update(self.shared_table, routes["shared_rows"], grads)
+        medium = routes["medium_mask"]
         if medium.any():
-            secondary_rows = hash_to_range(
-                flat_ids[medium], self.num_secondary_rows, seed=self.hash_seed + 1
-            )
             # Summation pooling: the gradient flows unchanged into both tables.
-            self._secondary_optimizer.update(self.secondary_table, secondary_rows, grads[medium])
+            self._secondary_optimizer.update(
+                self.secondary_table, routes["secondary_rows"], grads[medium]
+            )
 
     def _shared_memory_floats(self) -> int:
         return int(self.shared_table.size + self.secondary_table.size)
@@ -120,13 +125,14 @@ class CafeMultiLevelEmbedding(CafeEmbedding):
         )
 
     # ------------------------------------------------------------------ #
-    # Checkpointing
+    # Checkpointing (via the shared-table hooks, so the base class's
+    # state_dict/load_state_dict need no knowledge of the extra table)
     # ------------------------------------------------------------------ #
-    def state_dict(self) -> dict[str, np.ndarray]:
-        state = super().state_dict()
+    def _shared_state_dict(self) -> dict[str, np.ndarray]:
+        state = super()._shared_state_dict()
         state["secondary_table"] = self.secondary_table.copy()
         return state
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        super().load_state_dict(state)
-        self.secondary_table = np.asarray(state["secondary_table"], dtype=np.float64).copy()
+    def _load_shared_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super()._load_shared_state_dict(state)
+        self.secondary_table = np.asarray(state["secondary_table"], dtype=self.dtype).copy()

@@ -4,13 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.embeddings.base import TableBackedEmbedding
+from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
 from repro.nn.init import embedding_uniform
 from repro.utils.rng import SeedLike, make_rng
 
 
 class FullEmbedding(TableBackedEmbedding):
-    """One exclusive embedding row per feature (no compression)."""
+    """One exclusive embedding row per feature (no compression).
+
+    Ids map to rows directly, so there is no hashing to cache in a routing
+    plan — lookup and update both index the table with the raw ids.
+    """
 
     def __init__(
         self,
@@ -18,11 +22,14 @@ class FullEmbedding(TableBackedEmbedding):
         dim: int,
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ):
-        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        super().__init__(
+            num_features, dim, optimizer=optimizer, learning_rate=learning_rate, dtype=dtype
+        )
         generator = make_rng(rng)
-        self.table = embedding_uniform((num_features, dim), generator)
+        self.table = embedding_uniform((num_features, dim), generator, dtype=self.dtype)
         self._optimizer = self._new_row_optimizer()
 
     def lookup(self, ids: np.ndarray) -> np.ndarray:

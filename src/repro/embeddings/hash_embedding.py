@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.embeddings.base import TableBackedEmbedding
+from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
 from repro.embeddings.memory import MemoryBudget
 from repro.nn.init import embedding_uniform
 from repro.utils.hashing import hash_to_range
@@ -28,15 +28,18 @@ class HashEmbedding(TableBackedEmbedding):
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
         hash_seed: int = 17,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ):
-        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        super().__init__(
+            num_features, dim, optimizer=optimizer, learning_rate=learning_rate, dtype=dtype
+        )
         if num_rows <= 0:
             raise ValueError(f"num_rows must be positive, got {num_rows}")
         generator = make_rng(rng)
         self.num_rows = int(min(num_rows, num_features))
         self.hash_seed = int(hash_seed)
-        self.table = embedding_uniform((self.num_rows, dim), generator)
+        self.table = embedding_uniform((self.num_rows, dim), generator, dtype=self.dtype)
         self._optimizer = self._new_row_optimizer()
 
     @classmethod
@@ -46,6 +49,7 @@ class HashEmbedding(TableBackedEmbedding):
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
         hash_seed: int = 17,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ) -> "HashEmbedding":
         """Size the table so that its memory fits ``budget`` exactly."""
@@ -57,22 +61,26 @@ class HashEmbedding(TableBackedEmbedding):
             optimizer=optimizer,
             learning_rate=learning_rate,
             hash_seed=hash_seed,
+            dtype=dtype,
             rng=rng,
         )
 
     def _rows_for(self, ids: np.ndarray) -> np.ndarray:
         return hash_to_range(ids, self.num_rows, seed=self.hash_seed)
 
+    def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        return {"rows": self._rows_for(flat_ids)}
+
     def lookup(self, ids: np.ndarray) -> np.ndarray:
         ids = self._check_ids(ids)
-        return self.table[self._rows_for(ids)]
+        plan = self.plan_for(ids)
+        return self.table[plan.routes["rows"]].reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
-        flat_ids, flat_grads = self._flatten(ids, grads)
-        rows = self._rows_for(flat_ids)
-        self._optimizer.update(self.table, rows, flat_grads)
+        plan = self.plan_for(ids)
+        self._optimizer.update(self.table, plan.routes["rows"], grads.reshape(len(plan), -1))
         self._step += 1
 
     def memory_floats(self) -> int:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.embeddings.base import TableBackedEmbedding
+from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
 from repro.embeddings.memory import MemoryBudget
 from repro.errors import MemoryBudgetError
 from repro.nn.init import embedding_uniform, xavier_uniform
@@ -46,10 +46,13 @@ class MixedDimensionEmbedding(TableBackedEmbedding):
         field_dims: list[int],
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ):
         num_features = int(sum(field_cardinalities))
-        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        super().__init__(
+            num_features, dim, optimizer=optimizer, learning_rate=learning_rate, dtype=dtype
+        )
         if len(field_dims) != len(field_cardinalities):
             raise ValueError("field_dims and field_cardinalities must have the same length")
         if any(d <= 0 for d in field_dims):
@@ -62,12 +65,14 @@ class MixedDimensionEmbedding(TableBackedEmbedding):
         self.field_offsets = np.concatenate([[0], np.cumsum(self.field_cardinalities)]).astype(np.int64)
 
         self.tables = [
-            embedding_uniform((card, fdim), generator)
+            embedding_uniform((card, fdim), generator, dtype=self.dtype)
             for card, fdim in zip(self.field_cardinalities, self.field_dims)
         ]
         # Identity-like projection when the field already has full width.
         self.projections = [
-            np.eye(dim) if fdim == dim else xavier_uniform((fdim, dim), generator)
+            np.eye(dim, dtype=self.dtype)
+            if fdim == dim
+            else xavier_uniform((fdim, dim), generator, dtype=self.dtype)
             for fdim in self.field_dims
         ]
         self._table_optimizers = [self._new_row_optimizer() for _ in self.tables]
@@ -84,6 +89,7 @@ class MixedDimensionEmbedding(TableBackedEmbedding):
         temperature: float = 0.3,
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ) -> "MixedDimensionEmbedding":
         """Choose per-field dimensions so the total memory fits ``budget``.
@@ -131,6 +137,7 @@ class MixedDimensionEmbedding(TableBackedEmbedding):
             field_dims=best_dims,
             optimizer=optimizer,
             learning_rate=learning_rate,
+            dtype=dtype,
             rng=rng,
         )
 
@@ -143,23 +150,28 @@ class MixedDimensionEmbedding(TableBackedEmbedding):
         local = flat_ids - self.field_offsets[fields]
         return fields, local
 
+    def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        fields, local = self._split_by_field(flat_ids)
+        return {"fields": fields, "local": local, "present_fields": np.unique(fields)}
+
     def lookup(self, ids: np.ndarray) -> np.ndarray:
         ids = self._check_ids(ids)
-        flat_ids, _ = self._flatten(ids)
-        fields, local = self._split_by_field(flat_ids)
-        out = np.empty((flat_ids.shape[0], self.dim), dtype=np.float64)
-        for field_index in np.unique(fields):
+        plan = self.plan_for(ids)
+        fields, local = plan.routes["fields"], plan.routes["local"]
+        out = np.empty((len(plan), self.dim), dtype=self.dtype)
+        for field_index in plan.routes["present_fields"]:
             mask = fields == field_index
             rows = self.tables[field_index][local[mask]]
             out[mask] = rows @ self.projections[field_index]
-        return out.reshape(ids.shape + (self.dim,))
+        return out.reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
-        flat_ids, flat_grads = self._flatten(ids, grads)
-        fields, local = self._split_by_field(flat_ids)
-        for field_index in np.unique(fields):
+        plan = self.plan_for(ids)
+        flat_grads = grads.reshape(len(plan), -1)
+        fields, local = plan.routes["fields"], plan.routes["local"]
+        for field_index in plan.routes["present_fields"]:
             mask = fields == field_index
             table = self.tables[field_index]
             projection = self.projections[field_index]

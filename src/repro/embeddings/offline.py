@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.embeddings.base import TableBackedEmbedding
+from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
 from repro.embeddings.cafe import CafeEmbedding
 from repro.embeddings.memory import MemoryBudget
 from repro.nn.init import embedding_uniform
@@ -40,9 +40,12 @@ class OfflineSeparationEmbedding(TableBackedEmbedding):
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
         hash_seed: int = 101,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ):
-        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        super().__init__(
+            num_features, dim, optimizer=optimizer, learning_rate=learning_rate, dtype=dtype
+        )
         frequencies = np.asarray(frequencies, dtype=np.float64)
         if frequencies.shape != (num_features,):
             raise ValueError(
@@ -59,8 +62,10 @@ class OfflineSeparationEmbedding(TableBackedEmbedding):
         self.row_of = np.full(num_features, _NO_ROW, dtype=np.int64)
         self.row_of[hot_features] = np.arange(self.num_hot_rows)
 
-        self.hot_table = embedding_uniform((self.num_hot_rows, dim), generator)
-        self.shared_table = embedding_uniform((self.num_shared_rows, dim), generator)
+        self.hot_table = embedding_uniform((self.num_hot_rows, dim), generator, dtype=self.dtype)
+        self.shared_table = embedding_uniform(
+            (self.num_shared_rows, dim), generator, dtype=self.dtype
+        )
         self._hot_optimizer = self._new_row_optimizer()
         self._shared_optimizer = self._new_row_optimizer()
 
@@ -72,6 +77,7 @@ class OfflineSeparationEmbedding(TableBackedEmbedding):
         hot_percentage: float = 0.7,
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ) -> "OfflineSeparationEmbedding":
         """Use the same hot/shared split as CAFE for a fair comparison."""
@@ -84,33 +90,40 @@ class OfflineSeparationEmbedding(TableBackedEmbedding):
             frequencies=frequencies,
             optimizer=optimizer,
             learning_rate=learning_rate,
+            dtype=dtype,
             rng=rng,
         )
 
-    def lookup(self, ids: np.ndarray) -> np.ndarray:
-        ids = self._check_ids(ids)
-        flat_ids, _ = self._flatten(ids)
+    def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        # The hot/cold split is frozen at construction, so plans never go stale.
         rows = self.row_of[flat_ids]
         hot_mask = rows != _NO_ROW
-        out = np.empty((flat_ids.shape[0], self.dim), dtype=np.float64)
+        shared_rows = hash_to_range(flat_ids[~hot_mask], self.num_shared_rows, seed=self.hash_seed)
+        return {"rows": rows, "hot_mask": hot_mask, "shared_rows": shared_rows}
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        plan = self.plan_for(ids)
+        rows, hot_mask = plan.routes["rows"], plan.routes["hot_mask"]
+        out = np.empty((len(plan), self.dim), dtype=self.dtype)
         if hot_mask.any():
             out[hot_mask] = self.hot_table[rows[hot_mask]]
         if (~hot_mask).any():
-            shared_rows = hash_to_range(flat_ids[~hot_mask], self.num_shared_rows, seed=self.hash_seed)
-            out[~hot_mask] = self.shared_table[shared_rows]
-        return out.reshape(ids.shape + (self.dim,))
+            out[~hot_mask] = self.shared_table[plan.routes["shared_rows"]]
+        return out.reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
-        flat_ids, flat_grads = self._flatten(ids, grads)
-        rows = self.row_of[flat_ids]
-        hot_mask = rows != _NO_ROW
+        plan = self.plan_for(ids)
+        flat_grads = grads.reshape(len(plan), -1)
+        rows, hot_mask = plan.routes["rows"], plan.routes["hot_mask"]
         if hot_mask.any():
             self._hot_optimizer.update(self.hot_table, rows[hot_mask], flat_grads[hot_mask])
         if (~hot_mask).any():
-            shared_rows = hash_to_range(flat_ids[~hot_mask], self.num_shared_rows, seed=self.hash_seed)
-            self._shared_optimizer.update(self.shared_table, shared_rows, flat_grads[~hot_mask])
+            self._shared_optimizer.update(
+                self.shared_table, plan.routes["shared_rows"], flat_grads[~hot_mask]
+            )
         self._step += 1
 
     def memory_floats(self) -> int:

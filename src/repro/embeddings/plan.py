@@ -1,0 +1,162 @@
+"""Routing plans: the hashing/locating work of one embedding batch, made explicit.
+
+Every embedding backend maps a batch of feature ids to storage locations —
+hash-table rows, quotient/remainder pairs, sketch slots, exclusive-row
+pointers.  The seed implementation recomputed that mapping twice per training
+step (once in ``lookup``, once in ``apply_gradients``).  A
+:class:`RoutingPlan` captures the mapping once; the layer caches the plan for
+the most recent batch and ``apply_gradients`` consumes it, so the SplitMix64
+hashing and slot location run once per step — the same
+precompute-the-buckets idiom used by tensorized count-sketch implementations.
+
+Plans are invalidated by a *routing token*: any mutation that can change how
+ids route (sketch insertion, migration, row reallocation, checkpoint load)
+bumps the owning layer's token, and a cached plan is only reused while its
+token matches.  Stateless backends (hash, Q-R, MDE) never bump the token, so
+their plans stay valid for repeated batches.
+
+The module also provides :class:`FreeRowPool`, an array-backed free-list for
+exclusive embedding rows that supports batched claim/release without
+Python-level per-row iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RoutingPlan:
+    """Precomputed routing of one batch of feature ids.
+
+    Attributes
+    ----------
+    flat_ids:
+        The flattened ``(n,)`` int64 feature ids the plan was built for.
+    ids_shape:
+        Original shape of the batch (lookup reshapes its output to
+        ``ids_shape + (dim,)``).
+    routes:
+        Backend-specific arrays — e.g. ``{"rows": ...}`` for a hash table,
+        ``{"hot_mask": ..., "payloads": ..., "shared_rows": ...}`` for CAFE.
+    token:
+        Value of the owning layer's routing token when the plan was built.
+    """
+
+    flat_ids: np.ndarray
+    ids_shape: tuple[int, ...]
+    routes: dict[str, np.ndarray] = field(default_factory=dict)
+    token: object = None
+
+    def __len__(self) -> int:
+        return int(self.flat_ids.shape[0])
+
+    def matches(self, ids: np.ndarray, token: object) -> bool:
+        """True when the plan routes exactly this batch under this token."""
+        return (
+            self.token == token
+            and self.ids_shape == ids.shape
+            and self.flat_ids.shape[0] == ids.size
+            and np.array_equal(self.flat_ids, ids.reshape(-1))
+        )
+
+
+@dataclass
+class PlanStats:
+    """Cache behaviour of a layer's routing-plan reuse."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def reuse_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {"hits": self.hits, "misses": self.misses, "reuse_rate": round(self.reuse_rate, 4)}
+
+
+class FreeRowPool:
+    """Array-backed LIFO pool of free exclusive-row indices.
+
+    Mirrors the subset of the ``list`` API the embedding layers and their
+    tests rely on (``len``, ``pop``, ``append``, ``remove``, truthiness,
+    iteration) while supporting batched :meth:`claim` and :meth:`release`
+    with no per-row Python loop.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: np.ndarray | int | None = None):
+        if rows is None:
+            rows = np.empty(0, dtype=np.int64)
+        elif isinstance(rows, (int, np.integer)):
+            rows = np.arange(int(rows), dtype=np.int64)
+        self._rows = np.asarray(rows, dtype=np.int64).reshape(-1).copy()
+
+    # ------------------------------------------------------------------ #
+    # Batched operations (the hot path)
+    # ------------------------------------------------------------------ #
+    def claim(self, count: int) -> np.ndarray:
+        """Remove and return up to ``count`` rows (LIFO order, like pop)."""
+        count = min(int(count), self._rows.shape[0])
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        claimed = self._rows[-count:][::-1].copy()
+        self._rows = self._rows[:-count]
+        return claimed
+
+    def release(self, rows: np.ndarray) -> int:
+        """Return valid (non-negative) rows to the pool; reports how many."""
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        valid = rows[rows >= 0]
+        if valid.size:
+            self._rows = np.concatenate([self._rows, valid])
+        return int(valid.size)
+
+    def to_array(self) -> np.ndarray:
+        return self._rows.copy()
+
+    # ------------------------------------------------------------------ #
+    # list-compatible API
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self._rows.shape[0])
+
+    def __bool__(self) -> bool:
+        return self._rows.shape[0] > 0
+
+    def __iter__(self):
+        return iter(self._rows.tolist())
+
+    def __contains__(self, row: int) -> bool:
+        return bool(np.any(self._rows == int(row)))
+
+    def pop(self) -> int:
+        if not self._rows.shape[0]:
+            raise IndexError("pop from empty FreeRowPool")
+        row = int(self._rows[-1])
+        self._rows = self._rows[:-1]
+        return row
+
+    def append(self, row: int) -> None:
+        self._rows = np.concatenate([self._rows, np.asarray([row], dtype=np.int64)])
+
+    def remove(self, row: int) -> None:
+        matches = np.nonzero(self._rows == int(row))[0]
+        if matches.size == 0:
+            raise ValueError(f"row {row} not in free pool")
+        self._rows = np.delete(self._rows, matches[0])
+
+    def assert_consistent(self, num_rows: int) -> None:
+        """Invariant check: free rows are unique and within ``[0, num_rows)``."""
+        if self._rows.size != np.unique(self._rows).size:
+            raise AssertionError("free pool contains duplicate rows (double free)")
+        if self._rows.size and (self._rows.min() < 0 or self._rows.max() >= num_rows):
+            raise AssertionError("free pool contains out-of-range rows")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FreeRowPool(size={len(self)})"

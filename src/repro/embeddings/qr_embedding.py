@@ -16,7 +16,7 @@ import math
 
 import numpy as np
 
-from repro.embeddings.base import TableBackedEmbedding
+from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
 from repro.embeddings.memory import MemoryBudget
 from repro.errors import MemoryBudgetError
 from repro.nn.init import embedding_uniform
@@ -36,9 +36,12 @@ class QRTrickEmbedding(TableBackedEmbedding):
         operation: str = "add",
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ):
-        super().__init__(num_features, dim, optimizer=optimizer, learning_rate=learning_rate)
+        super().__init__(
+            num_features, dim, optimizer=optimizer, learning_rate=learning_rate, dtype=dtype
+        )
         if operation not in _VALID_OPERATIONS:
             raise ValueError(f"operation must be one of {_VALID_OPERATIONS}, got '{operation}'")
         if num_remainder_rows <= 0:
@@ -51,8 +54,12 @@ class QRTrickEmbedding(TableBackedEmbedding):
         if operation == "concat" and dim % 2 != 0:
             raise ValueError("concat operation requires an even embedding dimension")
         self.row_dim = row_dim
-        self.quotient_table = embedding_uniform((self.num_quotient_rows, row_dim), generator)
-        self.remainder_table = embedding_uniform((self.num_remainder_rows, row_dim), generator)
+        self.quotient_table = embedding_uniform(
+            (self.num_quotient_rows, row_dim), generator, dtype=self.dtype
+        )
+        self.remainder_table = embedding_uniform(
+            (self.num_remainder_rows, row_dim), generator, dtype=self.dtype
+        )
         self._quotient_optimizer = self._new_row_optimizer()
         self._remainder_optimizer = self._new_row_optimizer()
 
@@ -66,6 +73,7 @@ class QRTrickEmbedding(TableBackedEmbedding):
         operation: str = "add",
         optimizer: str = "sgd",
         learning_rate: float = 0.05,
+        dtype: np.dtype | str = DEFAULT_DTYPE,
         rng: SeedLike = None,
     ) -> "QRTrickEmbedding":
         """Pick the remainder-table size so both tables fit in ``budget``.
@@ -103,6 +111,7 @@ class QRTrickEmbedding(TableBackedEmbedding):
             operation=operation,
             optimizer=optimizer,
             learning_rate=learning_rate,
+            dtype=dtype,
             rng=rng,
         )
 
@@ -114,22 +123,29 @@ class QRTrickEmbedding(TableBackedEmbedding):
         quotient = ids // self.num_remainder_rows
         return quotient, remainder
 
+    def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        quotient, remainder = self._decompose(flat_ids)
+        return {"quotient": quotient, "remainder": remainder}
+
     def lookup(self, ids: np.ndarray) -> np.ndarray:
         ids = self._check_ids(ids)
-        quotient, remainder = self._decompose(ids)
-        q_vec = self.quotient_table[quotient]
-        r_vec = self.remainder_table[remainder]
+        plan = self.plan_for(ids)
+        q_vec = self.quotient_table[plan.routes["quotient"]]
+        r_vec = self.remainder_table[plan.routes["remainder"]]
         if self.operation == "add":
-            return q_vec + r_vec
-        if self.operation == "multiply":
-            return q_vec * r_vec
-        return np.concatenate([q_vec, r_vec], axis=-1)
+            out = q_vec + r_vec
+        elif self.operation == "multiply":
+            out = q_vec * r_vec
+        else:
+            out = np.concatenate([q_vec, r_vec], axis=-1)
+        return out.reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
-        flat_ids, flat_grads = self._flatten(ids, grads)
-        quotient, remainder = self._decompose(flat_ids)
+        plan = self.plan_for(ids)
+        flat_grads = grads.reshape(len(plan), -1)
+        quotient, remainder = plan.routes["quotient"], plan.routes["remainder"]
         if self.operation == "add":
             q_grads = flat_grads
             r_grads = flat_grads

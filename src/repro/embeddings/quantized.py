@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.embeddings.base import CompressedEmbedding
+from repro.embeddings.base import DEFAULT_DTYPE, CompressedEmbedding
 
 _SUPPORTED_BITS = (4, 8, 16)
 
@@ -31,7 +31,7 @@ class QuantizedEmbedding(CompressedEmbedding):
     def __init__(self, base: CompressedEmbedding, bits: int = 8):
         if bits not in _SUPPORTED_BITS:
             raise ValueError(f"bits must be one of {_SUPPORTED_BITS}, got {bits}")
-        super().__init__(base.num_features, base.dim)
+        super().__init__(base.num_features, base.dim, dtype=getattr(base, "dtype", DEFAULT_DTYPE))
         self.base = base
         self.bits = int(bits)
         self.levels = 2**self.bits - 1

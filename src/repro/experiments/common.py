@@ -96,6 +96,7 @@ def build_embedding(
     seed: int = 0,
     optimizer: str = "adagrad",
     learning_rate: float = 0.1,
+    dtype: str = "float32",
     **kwargs,
 ) -> CompressedEmbedding:
     """Instantiate an embedding method for ``dataset`` at a compression ratio.
@@ -116,6 +117,7 @@ def build_embedding(
         field_cardinalities=schema.field_cardinalities,
         optimizer=optimizer,
         learning_rate=learning_rate,
+        dtype=dtype,
         rng=np.random.default_rng(seed + 13),
         **extra,
     )
@@ -184,6 +186,7 @@ def run_single(
             seed=seed,
             optimizer=config.sparse_optimizer,
             learning_rate=config.sparse_learning_rate,
+            dtype=config.embedding_dtype,
             **(embedding_kwargs or {}),
         )
     except MemoryBudgetError as exc:

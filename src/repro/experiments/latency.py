@@ -51,4 +51,8 @@ def run_fig13_latency_throughput(
         "expected shape: Hash fastest, Q-R and MDE close behind, CAFE adds sketch maintenance, "
         "AdaEmbed slowest in training due to its reallocation pass"
     )
+    result.add_note(
+        "plan_reuse_rate: fraction of routing-plan requests served from the lookup-time cache "
+        "(each train step hashes once, then apply_gradients reuses the plan)"
+    )
     return result

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.embeddings.base import CompressedEmbedding
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_default_dtype
 
 
 class RecommendationModel(Module):
@@ -75,10 +75,10 @@ class RecommendationModel(Module):
 
     def _check_numerical(self, numerical: np.ndarray | None, batch_size: int) -> np.ndarray:
         if self.num_numerical == 0:
-            return np.zeros((batch_size, 0))
+            return np.zeros((batch_size, 0), dtype=get_default_dtype())
         if numerical is None:
             raise ValueError(f"model expects {self.num_numerical} numerical features, got none")
-        numerical = np.asarray(numerical, dtype=np.float64)
+        numerical = np.asarray(numerical, dtype=get_default_dtype())
         if numerical.shape != (batch_size, self.num_numerical):
             raise ValueError(
                 f"numerical input must have shape ({batch_size}, {self.num_numerical}), "

@@ -15,7 +15,13 @@ from repro.nn.optim import (
     SGD,
     make_row_optimizer,
 )
-from repro.nn.tensor import Parameter, Tensor, ensure_tensor
+from repro.nn.tensor import (
+    Parameter,
+    Tensor,
+    ensure_tensor,
+    get_default_dtype,
+    set_default_dtype,
+)
 
 __all__ = [
     "functional",
@@ -38,4 +44,6 @@ __all__ = [
     "xavier_uniform",
     "kaiming_uniform",
     "embedding_uniform",
+    "get_default_dtype",
+    "set_default_dtype",
 ]

@@ -1,4 +1,10 @@
-"""Weight initializers."""
+"""Weight initializers.
+
+Every initializer accepts a ``dtype``; ``None`` keeps the RNG's native
+float64, which the dense networks use.  Embedding layers pass their table
+dtype (float32 by default) so storage is allocated at the target precision
+from the start instead of being down-cast after a float64 materialization.
+"""
 
 from __future__ import annotations
 
@@ -6,24 +12,32 @@ import numpy as np
 
 from repro.utils.rng import SeedLike, make_rng
 
+DTypeLike = np.dtype | str | None
 
-def xavier_uniform(shape: tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+
+def _cast(values: np.ndarray, dtype: DTypeLike) -> np.ndarray:
+    if dtype is None or values.dtype == np.dtype(dtype):
+        return values
+    return values.astype(dtype)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: SeedLike = None, dtype: DTypeLike = None) -> np.ndarray:
     """Glorot/Xavier uniform initialization for dense layers."""
     generator = make_rng(rng)
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return generator.uniform(-limit, limit, size=shape)
+    return _cast(generator.uniform(-limit, limit, size=shape), dtype)
 
 
-def kaiming_uniform(shape: tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+def kaiming_uniform(shape: tuple[int, ...], rng: SeedLike = None, dtype: DTypeLike = None) -> np.ndarray:
     """He/Kaiming uniform initialization suited to ReLU networks."""
     generator = make_rng(rng)
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return generator.uniform(-limit, limit, size=shape)
+    return _cast(generator.uniform(-limit, limit, size=shape), dtype)
 
 
-def embedding_uniform(shape: tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+def embedding_uniform(shape: tuple[int, ...], rng: SeedLike = None, dtype: DTypeLike = None) -> np.ndarray:
     """DLRM-style embedding initialization: uniform in ±1/sqrt(num_rows).
 
     This matches the reference DLRM implementation, which scales the range by
@@ -34,7 +48,7 @@ def embedding_uniform(shape: tuple[int, ...], rng: SeedLike = None) -> np.ndarra
     generator = make_rng(rng)
     num_rows = max(shape[0], 1)
     limit = 1.0 / np.sqrt(num_rows)
-    return generator.uniform(-limit, limit, size=shape)
+    return _cast(generator.uniform(-limit, limit, size=shape), dtype)
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

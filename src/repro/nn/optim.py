@@ -158,8 +158,10 @@ class RowAdagrad(RowOptimizer):
         self._accumulator: np.ndarray | None = None
 
     def _ensure_state(self, table: np.ndarray) -> None:
+        # The accumulator matches the table dtype so a float32 table keeps
+        # its whole optimizer state in single precision too.
         if self._accumulator is None or self._accumulator.shape[0] != table.shape[0]:
-            self._accumulator = np.zeros(table.shape[0], dtype=np.float64)
+            self._accumulator = np.zeros(table.shape[0], dtype=table.dtype)
 
     def update(self, table: np.ndarray, rows: np.ndarray, grads: np.ndarray) -> None:
         self._ensure_state(table)

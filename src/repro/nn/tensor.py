@@ -21,13 +21,33 @@ import numpy as np
 
 ArrayLike = np.ndarray | float | int | list | tuple
 
+# Compute dtype of the autograd engine.  float64 keeps the dense-network
+# gradient checks exact; set_default_dtype(np.float32) switches the whole
+# graph to single precision (embedding tables manage their own storage dtype
+# independently of this).
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def set_default_dtype(dtype: np.dtype | str) -> None:
+    """Set the float dtype every :class:`Tensor` coerces its data to."""
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be a float type, got {resolved}")
+    _DEFAULT_DTYPE = resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The float dtype used by the autograd engine."""
+    return _DEFAULT_DTYPE
+
 
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
+        if value.dtype != _DEFAULT_DTYPE:
+            return value.astype(_DEFAULT_DTYPE)
         return value
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

@@ -126,35 +126,63 @@ class HotSketch(Sketch):
             slot_idx = slot_match[found].argmax(axis=1)
             np.add.at(self.scores, (buckets[found], slot_idx), scores[found])
 
-        evicted_keys: list[int] = []
-        evicted_payloads: list[int] = []
-
-        # Phase 2 (per miss): empty-slot claim or SpaceSaving replacement.
         missing = ~found
-        if missing.any():
-            for key, score, bucket in zip(keys[missing], scores[missing], buckets[missing]):
-                bucket_keys = self.keys[bucket]
-                empty = np.nonzero(bucket_keys == EMPTY_KEY)[0]
-                if empty.size > 0:
-                    slot = int(empty[0])
-                    self.keys[bucket, slot] = key
-                    self.scores[bucket, slot] = score
-                    self.payloads[bucket, slot] = NO_PAYLOAD
-                    continue
-                slot = int(np.argmin(self.scores[bucket]))
-                old_key = int(self.keys[bucket, slot])
-                old_payload = int(self.payloads[bucket, slot])
-                if old_payload != NO_PAYLOAD:
-                    evicted_keys.append(old_key)
-                    evicted_payloads.append(old_payload)
-                self.keys[bucket, slot] = key
-                self.scores[bucket, slot] += score
-                self.payloads[bucket, slot] = NO_PAYLOAD
+        if not missing.any():
+            return EvictionBatch(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        return self._insert_misses(keys[missing], scores[missing], buckets[missing])
 
-        return EvictionBatch(
-            np.asarray(evicted_keys, dtype=np.int64),
-            np.asarray(evicted_payloads, dtype=np.int64),
-        )
+    def _insert_misses(
+        self, keys: np.ndarray, scores: np.ndarray, buckets: np.ndarray
+    ) -> EvictionBatch:
+        """Empty-slot claim / SpaceSaving replacement for keys not yet recorded.
+
+        Misses are grouped by bucket and processed in *rounds*: round ``r``
+        handles the ``r``-th miss of every bucket simultaneously, so each
+        round touches distinct buckets and is fully vectorized (segmented
+        empty-slot claim, then argmin replacement for full buckets).  The
+        number of rounds is the maximum number of misses sharing one bucket
+        in this batch — typically 1 — not the number of keys.
+        """
+        order = np.argsort(buckets, kind="stable")
+        keys, scores, buckets = keys[order], scores[order], buckets[order]
+        # Rank of each miss within its bucket group.
+        new_segment = np.empty(buckets.shape[0], dtype=bool)
+        new_segment[0] = True
+        np.not_equal(buckets[1:], buckets[:-1], out=new_segment[1:])
+        segment_starts = np.nonzero(new_segment)[0]
+        segment_ids = np.cumsum(new_segment) - 1
+        ranks = np.arange(buckets.shape[0]) - segment_starts[segment_ids]
+
+        evicted_keys: list[np.ndarray] = []
+        evicted_payloads: list[np.ndarray] = []
+        for rank in range(int(ranks.max()) + 1):
+            selected = ranks == rank
+            bucket = buckets[selected]  # distinct buckets within one round
+            key = keys[selected]
+            score = scores[selected]
+
+            empty = self.keys[bucket] == EMPTY_KEY  # (m, c)
+            has_empty = empty.any(axis=1)
+            # First empty slot where available, minimum-score slot otherwise.
+            slot = np.where(has_empty, empty.argmax(axis=1), self.scores[bucket].argmin(axis=1))
+
+            replaced = ~has_empty
+            old_payloads = self.payloads[bucket, slot]
+            reportable = replaced & (old_payloads != NO_PAYLOAD)
+            if reportable.any():
+                evicted_keys.append(self.keys[bucket[reportable], slot[reportable]].copy())
+                evicted_payloads.append(old_payloads[reportable].copy())
+
+            # SpaceSaving: a replacement inherits the displaced minimum score.
+            self.scores[bucket, slot] = np.where(
+                has_empty, score, self.scores[bucket, slot] + score
+            )
+            self.keys[bucket, slot] = key
+            self.payloads[bucket, slot] = NO_PAYLOAD
+
+        if not evicted_keys:
+            return EvictionBatch(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        return EvictionBatch(np.concatenate(evicted_keys), np.concatenate(evicted_payloads))
 
     def query(self, keys: np.ndarray) -> np.ndarray:
         """Estimated importance score for each key (0 if not recorded)."""

@@ -18,6 +18,9 @@ class TrainingConfig:
     dense_learning_rate: float = 0.01
     sparse_optimizer: str = "adagrad"
     sparse_learning_rate: float = 0.1
+    #: Storage dtype of the embedding tables.  float32 matches the paper's
+    #: memory accounting; float64 is the opt-in for precision-sensitive runs.
+    embedding_dtype: str = "float32"
     samples_per_day: int | None = None
     eval_batch_size: int = 4096
     eval_every: int | None = None

@@ -28,6 +28,9 @@ class LatencyReport:
     inference_latency_ms: float
     train_throughput: float
     inference_throughput: float
+    #: Fraction of lookup/apply_gradients pairs that reused one routing plan
+    #: (1 lookup + 1 update per step → 0.5 means every step shared its plan).
+    plan_reuse_rate: float = 0.0
 
     def as_row(self) -> dict[str, float | str]:
         return {
@@ -36,6 +39,7 @@ class LatencyReport:
             "inference_latency_ms": round(self.inference_latency_ms, 3),
             "train_throughput": round(self.train_throughput, 1),
             "inference_throughput": round(self.inference_throughput, 1),
+            "plan_reuse_rate": round(self.plan_reuse_rate, 3),
         }
 
 
@@ -67,12 +71,14 @@ def measure_latency(
 
     train_latency = float(np.median(train_times))
     inference_latency = float(np.median(inference_times))
+    plan_stats = trainer.embedding_plan_stats()
     return LatencyReport(
         method=method_name,
         train_latency_ms=train_latency * 1e3,
         inference_latency_ms=inference_latency * 1e3,
         train_throughput=len(train_batch) / train_latency,
         inference_throughput=len(inference_batch) / inference_latency,
+        plan_reuse_rate=plan_stats["reuse_rate"] if plan_stats is not None else 0.0,
     )
 
 

@@ -74,7 +74,12 @@ class Trainer:
     # Single step
     # ------------------------------------------------------------------ #
     def train_step(self, batch: Batch) -> float:
-        """One forward/backward/update pass; returns the batch loss."""
+        """One forward/backward/update pass; returns the batch loss.
+
+        The embedding layer computes its routing plan during the forward
+        lookup and reuses it here when the gradients come back, so hashing
+        and slot location run once per step, not twice.
+        """
         logits, leaf = self.model.forward(batch.categorical, batch.numerical)
         loss = F.binary_cross_entropy_with_logits(logits, batch.labels)
         self.model.zero_grad()
@@ -85,6 +90,11 @@ class Trainer:
         self.dense_optimizer.step()
         self.global_step += 1
         return float(loss.data)
+
+    def embedding_plan_stats(self) -> dict[str, float | int] | None:
+        """Routing-plan cache behaviour of the model's embedding layer."""
+        stats = getattr(self.model.embedding, "plan_stats", None)
+        return stats.as_dict() if stats is not None else None
 
     # ------------------------------------------------------------------ #
     # Stream / epoch training

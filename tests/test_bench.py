@@ -1,0 +1,37 @@
+"""Tests for the repro.bench micro-benchmark harness (tiny workloads)."""
+
+import json
+
+import numpy as np
+
+from repro.bench import BenchConfig, make_workload, run_benchmarks, write_report
+
+TINY = BenchConfig.smoke_config(num_features=2000, batch_size=64, steps=3, warmup_steps=1)
+
+
+def test_workload_shapes_and_determinism():
+    ids, grads = make_workload(TINY)
+    assert ids.shape == (4, 64)
+    assert grads.shape == (4, 64, 16)
+    assert ids.min() >= 0 and ids.max() < TINY.num_features
+    ids2, grads2 = make_workload(TINY)
+    assert np.array_equal(ids, ids2)
+    assert np.array_equal(grads, grads2)
+
+
+def test_report_structure_and_write(tmp_path):
+    report = run_benchmarks(TINY)
+    assert report["workload"]["smoke"] is True
+    results = report["results"]
+    for section in ("cafe_train_step", "hash_train_step", "hotsketch_insert"):
+        assert section in results
+    cafe = results["cafe_train_step"]
+    assert cafe["steps_per_s"] > 0
+    assert cafe["baseline_steps_per_s"] > 0
+    assert cafe["speedup_vs_baseline"] > 0
+    # Every step is one plan build (lookup) + one reuse (apply_gradients).
+    assert cafe["plan_reuse_rate"] == 0.5
+    assert results["hotsketch_insert"]["speedup_vs_baseline"] > 0
+
+    path = write_report(report, tmp_path / "BENCH_embedding.json")
+    assert json.loads(path.read_text()) == report

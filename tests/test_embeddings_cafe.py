@@ -200,6 +200,46 @@ class TestUpdates:
         assert emb.step() == 2
 
 
+class TestRowInvariants:
+    def test_no_leak_or_double_free_across_cycles(self):
+        """Exclusive rows always partition into {free} ∪ {sketch-assigned}.
+
+        A tiny sketch under a churning stream exercises every path that
+        moves rows: promotion, demotion, SpaceSaving eviction, release.
+        """
+        emb = CafeEmbedding(
+            num_features=N,
+            dim=DIM,
+            num_hot_rows=4,
+            num_shared_rows=8,
+            slots_per_bucket=2,
+            rebalance_interval=2,
+            decay=0.7,
+            decay_interval=3,
+            rng=0,
+        )
+        rng = np.random.default_rng(3)
+        for step in range(120):
+            # Rotate the hot set so features keep crossing the boundary.
+            hot_ids = np.arange((step // 20) * 7, (step // 20) * 7 + 5)
+            cold_ids = rng.integers(0, N, size=11)
+            ids = np.concatenate([hot_ids, cold_ids])
+            grads = rng.normal(size=(ids.size, DIM))
+            emb.apply_gradients(ids, grads)
+            emb.check_row_invariants()
+        assert emb.migrations_in > 0
+        assert emb.migrations_out > 0
+
+    def test_release_rows_is_batched_and_filters_sentinels(self):
+        emb = make_cafe()
+        before = len(emb._free_rows)
+        taken = emb._free_rows.claim(3)
+        emb._release_rows(np.asarray([taken[0], -1, taken[1], taken[2], -1]))
+        assert len(emb._free_rows) == before
+        assert emb.migrations_out == 3
+        emb.check_row_invariants()
+
+
 class TestCheckpointing:
     def test_state_roundtrip_preserves_behaviour(self):
         emb = make_cafe()
@@ -211,6 +251,13 @@ class TestCheckpointing:
         assert np.allclose(emb.lookup(ids), clone.lookup(ids))
         assert clone.hot_threshold == emb.hot_threshold
         assert clone.num_hot_features() == emb.num_hot_features()
+
+    def test_shared_state_hooks_cover_all_tables(self):
+        emb = make_cafe()
+        state = emb.state_dict()
+        # The base layer contributes exactly its shared table via the hook.
+        assert set(emb._shared_state_dict()) == {"shared_table"}
+        assert "shared_table" in state
 
 
 class TestCafeMultiLevel:
@@ -270,6 +317,34 @@ class TestCafeMultiLevel:
         clone.load_state_dict(emb.state_dict())
         ids = np.arange(30)
         assert np.allclose(emb.lookup(ids), clone.lookup(ids))
+
+    def test_state_roundtrip_through_shared_hooks(self):
+        """The multi-level subclass checkpoints via _shared_state_dict hooks.
+
+        The secondary table must survive the round trip (a regression guard
+        for the base class hardcoding ``shared_table``), and the restored
+        layer must *train* identically, not just look up identically.
+        """
+        emb = self.make_ml()
+        train_on_skewed_stream(emb, np.arange(6), steps=20)
+        state = emb.state_dict()
+        assert "secondary_table" in state
+        assert set(emb._shared_state_dict()) == {"shared_table", "secondary_table"}
+
+        clone = self.make_ml()
+        clone.load_state_dict(state)
+        assert np.allclose(clone.secondary_table, emb.secondary_table)
+
+        # Continue training both from the checkpoint: trajectories must match.
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            ids = rng.integers(0, N, size=(8,))
+            grads = rng.normal(size=(8, DIM)) * 0.1
+            emb.apply_gradients(ids, grads.copy())
+            clone.apply_gradients(ids, grads.copy())
+        ids = np.arange(60)
+        assert np.allclose(emb.lookup(ids), clone.lookup(ids))
+        assert np.allclose(emb.secondary_table, clone.secondary_table)
 
     def test_medium_updates_touch_secondary_table(self):
         emb = self.make_ml(hot_threshold=100.0)

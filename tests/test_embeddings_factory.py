@@ -93,7 +93,15 @@ class TestCrossMethodInvariants:
         ids = np.asarray([[0, 5, 900], [3, 3, N - 1]])
         out = emb.lookup(ids)
         assert out.shape == (2, 3, DIM)
+        # Tables default to float32 (the paper's memory-accounting unit).
+        assert out.dtype == emb.dtype == np.float32
+
+    @pytest.mark.parametrize("method,cr", METHODS_AND_CRS)
+    def test_float64_opt_in(self, method, cr):
+        emb = build(method, cr=cr, dtype="float64")
+        out = emb.lookup(np.asarray([1, 2, 3]))
         assert out.dtype == np.float64
+        assert emb.memory_floats() == build(method, cr=cr).memory_floats()
 
     @pytest.mark.parametrize("method,cr", METHODS_AND_CRS)
     def test_lookup_is_deterministic(self, method, cr):

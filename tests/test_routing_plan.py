@@ -1,0 +1,186 @@
+"""Tests for the routing-plan engine, FreeRowPool, and vectorized parity."""
+
+import numpy as np
+import pytest
+
+from repro.bench.legacy import LegacyHotSketch
+from repro.embeddings import create_embedding
+from repro.embeddings.cafe import CafeEmbedding
+from repro.embeddings.plan import FreeRowPool, RoutingPlan
+from repro.sketch.hotsketch import EMPTY_KEY, HotSketch
+
+N = 2000
+DIM = 8
+
+
+def make_cafe(**kwargs):
+    defaults = dict(
+        num_features=N,
+        dim=DIM,
+        num_hot_rows=16,
+        num_shared_rows=32,
+        rebalance_interval=5,
+        learning_rate=0.1,
+        rng=0,
+    )
+    defaults.update(kwargs)
+    return CafeEmbedding(**defaults)
+
+
+class TestRoutingPlanMatching:
+    def test_matches_same_batch(self):
+        ids = np.asarray([[1, 2], [3, 4]])
+        plan = RoutingPlan(flat_ids=ids.reshape(-1).copy(), ids_shape=ids.shape, token=0)
+        assert plan.matches(ids, token=0)
+
+    def test_rejects_different_token(self):
+        ids = np.asarray([1, 2, 3])
+        plan = RoutingPlan(flat_ids=ids.copy(), ids_shape=ids.shape, token=0)
+        assert not plan.matches(ids, token=1)
+
+    def test_rejects_different_ids_or_shape(self):
+        ids = np.asarray([1, 2, 3])
+        plan = RoutingPlan(flat_ids=ids.copy(), ids_shape=ids.shape, token=0)
+        assert not plan.matches(np.asarray([1, 2, 4]), token=0)
+        assert not plan.matches(ids.reshape(3, 1), token=0)
+        assert not plan.matches(np.asarray([1, 2]), token=0)
+
+
+class TestPlanReuse:
+    @pytest.mark.parametrize("method,cr", [("hash", 10.0), ("qr", 10.0), ("mde", 2.0),
+                                           ("adaembed", 4.0), ("cafe", 10.0), ("cafe_ml", 10.0)])
+    def test_lookup_then_update_share_one_plan(self, method, cr):
+        emb = create_embedding(
+            method,
+            num_features=N,
+            dim=DIM,
+            compression_ratio=cr,
+            field_cardinalities=[800, 600, 400, 200],
+            rng=np.random.default_rng(1),
+        )
+        ids = np.asarray([[1, 5, 9], [2, 5, 1999]])
+        grads = np.full(ids.shape + (DIM,), 0.01)
+        emb.lookup(ids)
+        emb.apply_gradients(ids, grads)
+        # One miss (the forward lookup builds the plan), one hit (the
+        # backward pass reuses it): hashing ran once for the step.
+        assert emb.plan_stats.misses == 1
+        assert emb.plan_stats.hits == 1
+
+    def test_cafe_plan_invalidated_after_update(self):
+        emb = make_cafe()
+        ids = np.asarray([1, 2, 3])
+        grads = np.ones((3, DIM))
+        emb.lookup(ids)
+        emb.apply_gradients(ids, grads)  # sketch mutated -> plan stale
+        emb.lookup(ids)
+        assert emb.plan_stats.misses == 2
+        assert emb.plan_stats.hits == 1
+
+    def test_stateless_backend_keeps_plan_across_steps(self):
+        emb = create_embedding("hash", num_features=N, dim=DIM, compression_ratio=10.0, rng=0)
+        ids = np.asarray([4, 5, 6])
+        grads = np.ones((3, DIM))
+        for _ in range(3):
+            emb.lookup(ids)
+            emb.apply_gradients(ids, grads)
+        # Hash routing depends only on the ids: a repeated batch never rehashes.
+        assert emb.plan_stats.misses == 1
+        assert emb.plan_stats.hits == 5
+
+    def test_cafe_direct_sketch_insert_invalidates_plan(self):
+        emb = make_cafe(hot_threshold=5.0)
+        ids = np.asarray([7])
+        emb.lookup(ids)
+        # Mutating the sketch behind the layer's back must not leave a stale
+        # plan: feature 7 becomes hot with an exclusive row.
+        emb.sketch.insert(np.asarray([7]), np.asarray([10.0]))
+        emb.sketch.set_payload(7, 3)
+        emb._free_rows.remove(3)
+        out = emb.lookup(ids)
+        assert np.allclose(out[0], emb.hot_table[3])
+
+    def test_lookup_results_unchanged_by_caching(self):
+        emb = make_cafe()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            ids = rng.integers(0, N, size=(4, 3))
+            grads = rng.normal(size=ids.shape + (DIM,)) * 0.1
+            first = emb.lookup(ids)
+            again = emb.lookup(ids)  # served from the cached plan
+            assert np.array_equal(first, again)
+            emb.apply_gradients(ids, grads)
+
+
+class TestFreeRowPool:
+    def test_claim_matches_lifo_pop_order(self):
+        pool = FreeRowPool(5)
+        expected = [pool.pop(), pool.pop()]
+        pool = FreeRowPool(5)
+        assert pool.claim(2).tolist() == expected
+        assert len(pool) == 3
+
+    def test_claim_caps_at_available(self):
+        pool = FreeRowPool(3)
+        assert pool.claim(10).size == 3
+        assert pool.claim(1).size == 0
+        assert not pool
+
+    def test_release_filters_sentinels(self):
+        pool = FreeRowPool(np.empty(0, dtype=np.int64))
+        released = pool.release(np.asarray([3, -1, 7, -1]))
+        assert released == 2
+        assert sorted(pool) == [3, 7]
+
+    def test_remove_and_contains(self):
+        pool = FreeRowPool(4)
+        pool.remove(2)
+        assert 2 not in pool
+        assert len(pool) == 3
+        with pytest.raises(ValueError):
+            pool.remove(2)
+
+    def test_assert_consistent_catches_double_free(self):
+        pool = FreeRowPool(np.asarray([1, 2]))
+        pool.release(np.asarray([2]))
+        with pytest.raises(AssertionError):
+            pool.assert_consistent(num_rows=4)
+
+
+class TestVectorizedSketchParity:
+    """The grouped-miss insert must match the scalar reference bit for bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("num_buckets,slots", [(4, 2), (16, 4), (1, 3)])
+    def test_state_matches_legacy_on_random_streams(self, seed, num_buckets, slots):
+        kwargs = dict(num_buckets=num_buckets, slots_per_bucket=slots, hot_threshold=1.0, seed=7)
+        current = HotSketch(**kwargs)
+        legacy = LegacyHotSketch(**kwargs)
+        rng = np.random.default_rng(seed)
+        for _ in range(30):
+            keys = rng.integers(0, 200, size=64)
+            scores = rng.random(64) + 0.01
+            ev_current = current.insert(keys, scores)
+            ev_legacy = legacy.insert(keys, scores)
+            assert np.array_equal(current.keys, legacy.keys)
+            assert np.allclose(current.scores, legacy.scores)
+            assert np.array_equal(current.payloads, legacy.payloads)
+            assert sorted(ev_current.keys.tolist()) == sorted(ev_legacy.keys.tolist())
+            assert sorted(ev_current.payloads.tolist()) == sorted(ev_legacy.payloads.tolist())
+
+    def test_parity_with_payload_evictions(self):
+        kwargs = dict(num_buckets=2, slots_per_bucket=2, hot_threshold=0.5, seed=3)
+        current, legacy = HotSketch(**kwargs), LegacyHotSketch(**kwargs)
+        rng = np.random.default_rng(5)
+        for step in range(40):
+            keys = rng.integers(0, 50, size=16)
+            for sketch in (current, legacy):
+                evictions = sketch.insert(keys, np.ones(16))
+                assert evictions.keys.shape == evictions.payloads.shape
+                # Attach payloads to every currently-recorded key so future
+                # replacements must report them.
+                recorded = sketch.keys[sketch.keys != EMPTY_KEY]
+                for key in recorded.tolist():
+                    sketch.set_payload(int(key), int(key) % 7)
+            assert np.array_equal(current.keys, legacy.keys)
+            assert np.array_equal(current.payloads, legacy.payloads)

@@ -116,6 +116,50 @@ class TestEvictionAndReplacement:
         evictions = sketch.insert(np.asarray([11]), np.asarray([1.0]))
         assert len(evictions) == 0
 
+    def test_duplicate_missing_keys_in_one_batch_claim_one_slot(self):
+        """Duplicates of an unrecorded key are aggregated into a single miss."""
+        sketch = HotSketch(num_buckets=1, slots_per_bucket=4, hot_threshold=1.0, seed=0)
+        sketch.insert(np.asarray([9, 9, 9, 5, 5]), np.asarray([1.0, 2.0, 3.0, 1.0, 1.0]))
+        occupied = (sketch.keys != EMPTY_KEY).sum()
+        assert occupied == 2  # one slot per distinct key, not per occurrence
+        assert sketch.query(np.asarray([9]))[0] == pytest.approx(6.0)
+        assert sketch.query(np.asarray([5]))[0] == pytest.approx(2.0)
+
+    def test_multiple_misses_into_same_full_bucket_are_sequential(self):
+        """Misses sharing one full bucket replace minima one after another."""
+        sketch = HotSketch(num_buckets=1, slots_per_bucket=2, hot_threshold=1.0, seed=0)
+        sketch.insert(np.asarray([1, 2]), np.asarray([10.0, 1.0]))
+        assert sketch.set_payload(1, 100)
+        assert sketch.set_payload(2, 200)
+        # Keys 3 and 4 both miss into the (single, full) bucket.  3 replaces
+        # the minimum (key 2, score 1 -> 1+s); 4 then replaces the new
+        # minimum, whichever that is after 3's SpaceSaving over-estimate.
+        evictions = sketch.insert(np.asarray([3, 4]), np.asarray([2.0, 2.0]))
+        assert sorted(evictions.payloads.tolist()) == [200]  # key 1 survives
+        assert sketch.query(np.asarray([1]))[0] == pytest.approx(10.0)
+        assert sketch.query(np.asarray([2]))[0] == 0.0
+        # Key 3 took 1+2=3, then key 4 displaced it at 3+2=5.
+        assert sketch.query(np.asarray([3]))[0] == 0.0
+        assert sketch.query(np.asarray([4]))[0] == pytest.approx(5.0)
+
+    def test_eviction_reporting_is_order_independent(self):
+        """Shuffling a batch changes nothing about which payloads are reported."""
+
+        def run(order: np.ndarray) -> tuple[set, set]:
+            sketch = HotSketch(num_buckets=2, slots_per_bucket=2, hot_threshold=1.0, seed=1)
+            base = np.arange(10, 18)
+            sketch.insert(base, np.linspace(1, 3, base.size))
+            for key in base.tolist():
+                sketch.set_payload(key, key * 10)
+            evictions = sketch.insert(order, np.full(order.size, 5.0))
+            return set(evictions.keys.tolist()), set(evictions.payloads.tolist())
+
+        batch = np.arange(30, 38)
+        rng = np.random.default_rng(0)
+        reference = run(batch)
+        for _ in range(5):
+            assert run(rng.permutation(batch)) == reference
+
 
 class TestPayloads:
     def test_set_get_clear(self):
