@@ -18,7 +18,9 @@ def test_bench_embedding_smoke(benchmark, tmp_path):
     report = benchmark.pedantic(lambda: run_benchmarks(config), rounds=1, iterations=1)
 
     path = write_report(report, tmp_path / "BENCH_embedding_smoke.json")
-    assert json.loads(path.read_text()) == report
+    envelope = json.loads(path.read_text())
+    assert envelope["latest"]["results"] == report["results"]
+    assert envelope["history"] == []
     print()
     print(json.dumps(report["results"], indent=2))
 

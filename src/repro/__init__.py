@@ -6,6 +6,10 @@ The package provides:
 * ``repro.sketch`` — HotSketch and reference sketches;
 * ``repro.embeddings`` — CAFE, CAFE-ML and all baseline compressed embeddings;
 * ``repro.models`` — DLRM, WDL and DCN recommendation models;
+* ``repro.store`` — the embedding-store interface, hash-partitioned sharding
+  and copy-on-write snapshots;
+* ``repro.serving`` — snapshot-backed micro-batching inference engine
+  (``python -m repro.serve``);
 * ``repro.data`` — synthetic CTR streams, Criteo reader, dataset schemas;
 * ``repro.training`` — training/evaluation loops and metrics;
 * ``repro.experiments`` — one runner per table/figure of the paper.

@@ -3,8 +3,11 @@
 Times the embedding-layer training step (lookup + apply_gradients, the code
 path the routing-plan refactor targets) on the CAFE Zipf workload and
 compares it against the pre-refactor reference implementation preserved in
-:mod:`repro.bench.legacy`.  Results are written to ``BENCH_embedding.json``
-so the performance trajectory is tracked PR over PR.
+:mod:`repro.bench.legacy`, plus the sharded-store scaling and snapshot
+serving benchmarks from :mod:`repro.bench.store_bench`.  Results are written
+to ``BENCH_embedding.json``; the file keeps the latest report under
+``latest`` and appends every superseded report to a timestamped ``history``
+list so the performance trajectory is tracked PR over PR.
 
 Run it with::
 
@@ -17,11 +20,13 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
 
 from repro.bench.legacy import LegacyCafeEmbedding, LegacyHotSketch
+from repro.bench.store_bench import bench_serving_throughput, bench_shard_scaling
 from repro.embeddings.cafe import CafeEmbedding
 from repro.embeddings.hash_embedding import HashEmbedding
 from repro.embeddings.memory import MemoryBudget
@@ -29,6 +34,9 @@ from repro.sketch.hotsketch import HotSketch
 from repro.utils.zipf import ZipfDistribution
 
 DEFAULT_OUTPUT = "BENCH_embedding.json"
+
+#: Superseded reports kept in the on-disk history (oldest dropped first).
+MAX_HISTORY = 100
 
 
 @dataclass(frozen=True)
@@ -166,17 +174,52 @@ def bench_hotsketch_insert(config: BenchConfig) -> dict:
 def run_benchmarks(config: BenchConfig) -> dict:
     """Run every micro-benchmark; returns the JSON-ready report."""
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "workload": config.as_dict(),
         "results": {
             "cafe_train_step": bench_cafe_train_step(config),
             "hash_train_step": bench_hash_train_step(config),
             "hotsketch_insert": bench_hotsketch_insert(config),
+            "shard_scaling": bench_shard_scaling(config),
+            "serving": bench_serving_throughput(config),
         },
     }
 
 
+def _load_previous(path: Path) -> tuple[dict | None, list[dict]]:
+    """Previous ``(latest, history)`` from ``path``, tolerating old formats."""
+    if not path.exists():
+        return None, []
+    try:
+        previous = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, OSError):
+        return None, []
+    if not isinstance(previous, dict):
+        return None, []
+    if "latest" in previous:  # current envelope
+        history = previous.get("history", [])
+        return previous.get("latest"), history if isinstance(history, list) else []
+    if "results" in previous:  # schema_version 1: the report was the file
+        return previous, []
+    return None, []
+
+
 def write_report(report: dict, output: str | Path = DEFAULT_OUTPUT) -> Path:
+    """Write ``report`` as the latest run, pushing the prior run into history.
+
+    The file is an envelope ``{"latest": ..., "history": [...]}``; each run
+    is stamped with a UTC ``recorded_at`` so the perf trajectory across PRs
+    survives in one artifact instead of being overwritten.
+    """
     path = Path(output)
-    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    previous_latest, history = _load_previous(path)
+    if previous_latest is not None:
+        history.append(previous_latest)
+    history = history[-MAX_HISTORY:]
+    stamped = dict(report)
+    stamped.setdefault(
+        "recorded_at", datetime.now(timezone.utc).isoformat(timespec="seconds")
+    )
+    envelope = {"latest": stamped, "history": history}
+    path.write_text(json.dumps(envelope, indent=2) + "\n", encoding="utf-8")
     return path

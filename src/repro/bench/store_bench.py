@@ -1,0 +1,121 @@
+"""Benchmarks for the sharded store and the snapshot serving path.
+
+Two sections feed ``BENCH_embedding.json``:
+
+* ``shard_scaling`` — embedding train-step throughput of a
+  :class:`~repro.store.sharded.ShardedEmbeddingStore` at increasing shard
+  counts, per backend.  In-process sharding buys no parallelism (the shards
+  run sequentially on one core), so the interesting quantity is the
+  *overhead* of partitioning: how close an N-shard store stays to the
+  single-shard baseline that PR 1 optimized.
+* ``serving`` — request throughput and p50/p95/p99 latency of the
+  micro-batching engine over a copy-on-write store snapshot, at several
+  micro-batch sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.models.dlrm import DLRM
+from repro.serving.engine import ServingEngine
+from repro.store import ShardedEmbeddingStore
+from repro.utils.zipf import ZipfDistribution
+
+#: Fields of the synthetic serving model (numerical-free DLRM).
+SERVING_FIELDS = 4
+
+
+def bench_shard_scaling(
+    config,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    methods: tuple[str, ...] = ("hash", "cafe"),
+) -> dict:
+    """Train-step throughput of the sharded store per backend and shard count."""
+    from repro.bench.embedding_bench import make_workload, _time_train_steps
+
+    if config.smoke:
+        shard_counts = tuple(s for s in shard_counts if s <= 2)
+    ids, grads = make_workload(config)
+    rows = []
+    for method in methods:
+        baseline_seconds = None
+        for num_shards in shard_counts:
+            store = ShardedEmbeddingStore.build(
+                method,
+                num_features=config.num_features,
+                dim=config.dim,
+                num_shards=num_shards,
+                compression_ratio=config.compression_ratio,
+                seed=config.seed,
+                dtype=config.dtype,
+            )
+            seconds = _time_train_steps(store, ids, grads, config.warmup_steps)
+            if baseline_seconds is None:
+                baseline_seconds = seconds
+            rows.append(
+                {
+                    "method": method,
+                    "num_shards": num_shards,
+                    "steps_per_s": round(1.0 / seconds, 2),
+                    "rows_per_s": round(config.batch_size / seconds, 1),
+                    # < 1 means the partition pass costs throughput vs 1 shard.
+                    "relative_throughput": round(baseline_seconds / seconds, 3),
+                    "plan_reuse_rate": store.plan_stats.reuse_rate,
+                }
+            )
+    return {"shard_counts": list(shard_counts), "rows": rows}
+
+
+def bench_serving_throughput(
+    config,
+    micro_batches: tuple[int, ...] = (1, 16, 64, 256),
+    num_shards: int = 2,
+    warmup_requests: int = 32,
+) -> dict:
+    """Requests/s and tail latency of snapshot serving per micro-batch size."""
+    if config.smoke:
+        micro_batches = tuple(m for m in micro_batches if m <= 64)
+    num_requests = min(config.steps * config.batch_size, 2048 if config.smoke else 8192)
+    zipf = ZipfDistribution(config.num_features, config.zipf_exponent)
+    categorical = zipf.sample(num_requests * SERVING_FIELDS, rng=config.seed + 5)
+    categorical = categorical.reshape(num_requests, SERVING_FIELDS)
+
+    store = ShardedEmbeddingStore.build(
+        "cafe",
+        num_features=config.num_features,
+        dim=config.dim,
+        num_shards=num_shards,
+        compression_ratio=config.compression_ratio,
+        seed=config.seed,
+        dtype=config.dtype,
+    )
+    model = DLRM(store, num_fields=SERVING_FIELDS, num_numerical=0, rng=config.seed)
+
+    rows = []
+    for micro_batch in micro_batches:
+        engine = ServingEngine(model, max_batch_size=micro_batch)
+        for row in range(min(warmup_requests, num_requests)):
+            engine.submit(categorical[row])
+        engine.flush()
+        engine.latency.reset()
+
+        start = time.perf_counter()
+        for row in range(num_requests):
+            engine.submit(categorical[row])
+        engine.flush()
+        elapsed = time.perf_counter() - start
+
+        stats = engine.latency.summary()
+        rows.append(
+            {
+                "micro_batch": micro_batch,
+                "requests_per_s": round(num_requests / elapsed, 1),
+                "p50_ms": stats["p50_ms"],
+                "p95_ms": stats["p95_ms"],
+                "p99_ms": stats["p99_ms"],
+            }
+        )
+    return {"num_shards": num_shards, "requests": int(num_requests), "rows": rows}

@@ -22,8 +22,9 @@ def run_fig13_latency_throughput(
     train_batch_size: int | None = None,
     inference_batch_size: int | None = None,
     repeats: int = 5,
+    serving_micro_batch: int | None = 64,
 ) -> ExperimentResult:
-    """Measure per-method training and inference latency / throughput."""
+    """Measure per-method training, inference and serving latency/throughput."""
     result = ExperimentResult(
         experiment_id="fig13",
         title="Latency and throughput on CriteoTB (10x)",
@@ -44,7 +45,12 @@ def run_fig13_latency_throughput(
             continue
         model = build_model("dlrm", embedding, dataset.schema, seed=seed)
         report = measure_latency(
-            model, train_batch, inference_batch, method_name=method, repeats=repeats
+            model,
+            train_batch,
+            inference_batch,
+            method_name=method,
+            repeats=repeats,
+            serving_micro_batch=serving_micro_batch,
         )
         result.add_row(feasible=True, **report.as_row())
     result.add_note(
@@ -54,5 +60,9 @@ def run_fig13_latency_throughput(
     result.add_note(
         "plan_reuse_rate: fraction of routing-plan requests served from the lookup-time cache "
         "(each train step hashes once, then apply_gradients reuses the plan)"
+    )
+    result.add_note(
+        "serve_p50/p95/p99_ms: per-request latency through the snapshot serving engine "
+        "(single-example requests micro-batched over a copy-on-write store snapshot)"
     )
     return result

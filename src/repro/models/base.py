@@ -1,12 +1,15 @@
 """Base class shared by the DLRM / WDL / DCN recommendation models.
 
-A model owns (a) a compressed embedding layer (any
-:class:`repro.embeddings.CompressedEmbedding`) and (b) a dense network built
-from :mod:`repro.nn` modules.  The training loop drives them through
+A model owns (a) an embedding *store* — anything satisfying
+:class:`repro.store.EmbeddingStore`, from a bare
+:class:`repro.embeddings.CompressedEmbedding` (wrapped in a bit-exact
+single-shard store) to a multi-shard :class:`repro.store.
+ShardedEmbeddingStore` — and (b) a dense network built from :mod:`repro.nn`
+modules.  The training loop drives them through
 :meth:`RecommendationModel.forward`, which returns both the logits tensor and
 the leaf embedding tensor so that, after ``loss.backward()``, the per-lookup
 gradient (the quantity CAFE scores features by) can be handed back to the
-embedding layer.
+store.
 """
 
 from __future__ import annotations
@@ -16,20 +19,31 @@ import numpy as np
 from repro.embeddings.base import CompressedEmbedding
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, get_default_dtype
+from repro.store import EmbeddingStore, ensure_store
 
 
 class RecommendationModel(Module):
     """Common scaffolding: embedding lookup + dense forward."""
 
-    def __init__(self, embedding: CompressedEmbedding, num_fields: int, num_numerical: int):
+    def __init__(
+        self,
+        embedding: CompressedEmbedding | EmbeddingStore,
+        num_fields: int,
+        num_numerical: int,
+    ):
         if num_fields <= 0:
             raise ValueError(f"num_fields must be positive, got {num_fields}")
         if num_numerical < 0:
             raise ValueError(f"num_numerical must be non-negative, got {num_numerical}")
+        #: The store is what the forward pass and trainer talk to; a bare
+        #: embedding layer is adapted via a delegating single-shard store.
+        self.store: EmbeddingStore = ensure_store(embedding)
+        #: The object the caller handed in, kept for introspection (e.g.
+        #: reaching a CAFE layer's sketch in experiments).
         self.embedding = embedding
         self.num_fields = int(num_fields)
         self.num_numerical = int(num_numerical)
-        self.dim = embedding.dim
+        self.dim = self.store.dim
 
     # ------------------------------------------------------------------ #
     # Dense part (implemented by subclasses)
@@ -57,7 +71,7 @@ class RecommendationModel(Module):
                 f"categorical input must have shape (batch, {self.num_fields}), got {categorical.shape}"
             )
         numerical = self._check_numerical(numerical, categorical.shape[0])
-        vectors = self.embedding.lookup(categorical)
+        vectors = self.store.lookup(categorical)
         leaf = Tensor(vectors, requires_grad=True, name="embedding_leaf")
         logits = self.forward_dense(leaf, numerical)
         return logits, leaf

@@ -10,6 +10,7 @@ from repro.nn import functional as F
 from repro.nn.interactions import CrossNetwork
 from repro.nn.layers import MLP, Linear
 from repro.nn.tensor import Tensor
+from repro.store import EmbeddingStore
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -23,7 +24,7 @@ class DCN(RecommendationModel):
 
     def __init__(
         self,
-        embedding: CompressedEmbedding,
+        embedding: CompressedEmbedding | EmbeddingStore,
         num_fields: int,
         num_numerical: int,
         num_cross_layers: int = 3,

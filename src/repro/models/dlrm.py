@@ -10,6 +10,7 @@ from repro.nn import functional as F
 from repro.nn.interactions import DotInteraction
 from repro.nn.layers import MLP
 from repro.nn.tensor import Tensor
+from repro.store import EmbeddingStore
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -24,7 +25,7 @@ class DLRM(RecommendationModel):
 
     def __init__(
         self,
-        embedding: CompressedEmbedding,
+        embedding: CompressedEmbedding | EmbeddingStore,
         num_fields: int,
         num_numerical: int,
         bottom_mlp: list[int] | None = None,

@@ -9,6 +9,7 @@ from repro.models.base import RecommendationModel
 from repro.nn import functional as F
 from repro.nn.layers import MLP, Linear
 from repro.nn.tensor import Tensor
+from repro.store import EmbeddingStore
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -23,7 +24,7 @@ class WDL(RecommendationModel):
 
     def __init__(
         self,
-        embedding: CompressedEmbedding,
+        embedding: CompressedEmbedding | EmbeddingStore,
         num_fields: int,
         num_numerical: int,
         deep_mlp: list[int] | None = None,

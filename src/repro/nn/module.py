@@ -71,7 +71,10 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Cast to the parameter's existing dtype: a model configured for
+            # float32 (or float16 tables) must not be silently promoted to
+            # float64 by a checkpoint restore.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
             param.data = value.copy()

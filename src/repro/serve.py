@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.serve`` (see :mod:`repro.serving.cli`)."""
+
+from repro.serving.cli import build_parser, main, run_serving_session
+
+__all__ = ["main", "build_parser", "run_serving_session"]
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess/CI
+    raise SystemExit(main())

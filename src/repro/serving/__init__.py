@@ -1,0 +1,6 @@
+"""Serving: snapshot-backed inference with micro-batching and tail-latency stats."""
+
+from repro.serving.engine import PendingPrediction, ServingEngine
+from repro.serving.stats import PERCENTILES, LatencyTracker
+
+__all__ = ["ServingEngine", "PendingPrediction", "LatencyTracker", "PERCENTILES"]

@@ -1,0 +1,188 @@
+"""Snapshot-backed inference serving with request micro-batching.
+
+The engine separates the *serving* path from the *training* path that shares
+a process with it:
+
+* On :meth:`ServingEngine.refresh` the engine takes a copy-on-write
+  :class:`~repro.store.snapshot.StoreSnapshot` of the model's embedding
+  store and a frozen copy of the dense network, so in-flight requests see
+  one consistent parameter version while online training keeps mutating the
+  live store.
+* Incoming requests queue up and are executed as one batched forward pass
+  once ``max_batch_size`` rows are pending (or on an explicit
+  :meth:`ServingEngine.flush`) — the standard micro-batching trade of a
+  little queueing latency for a large throughput win on vectorized
+  backends.
+* Per-request wall times feed a :class:`~repro.serving.stats.
+  LatencyTracker`, giving the p50/p95/p99 columns the fig13 experiment and
+  ``python -m repro.serve`` report.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.serving.stats import LatencyTracker
+
+
+class PendingPrediction:
+    """Future-like handle for one submitted request."""
+
+    __slots__ = ("rows", "submitted_at", "probabilities", "latency_s")
+
+    def __init__(self, rows: int, submitted_at: float):
+        self.rows = int(rows)
+        self.submitted_at = float(submitted_at)
+        self.probabilities: np.ndarray | None = None
+        self.latency_s: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.probabilities is not None
+
+    def result(self) -> np.ndarray:
+        if self.probabilities is None:
+            raise RuntimeError("request not served yet; call ServingEngine.flush()")
+        return self.probabilities
+
+
+class ServingEngine:
+    """Micro-batching prediction server over embedding-store snapshots."""
+
+    def __init__(self, model, max_batch_size: int = 256):
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        self.model = model
+        self.max_batch_size = int(max_batch_size)
+        self.latency = LatencyTracker()
+        self._pending: deque[PendingPrediction] = deque()
+        self._pending_categorical: deque[np.ndarray] = deque()
+        self._pending_numerical: deque[np.ndarray | None] = deque()
+        self._pending_rows = 0
+        self.micro_batches = 0
+        self.requests_served = 0
+        self.rows_served = 0
+        self.snapshot = None
+        self._frozen_model = None
+        self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot management
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """Re-snapshot the store and freeze the dense network.
+
+        Serve this after (or periodically during) training to publish the
+        newest parameters.  Requests already queued are flushed first so no
+        request spans two parameter versions.
+        """
+        if self._pending_rows:
+            self.flush()
+        store = getattr(self.model, "store", None) or self.model.embedding
+        self.snapshot = store.snapshot()
+        # Deep-copy the dense network but splice the snapshot in where the
+        # model references its store/embedding, so the frozen model's forward
+        # reads embeddings from the snapshot without copying any table.
+        memo = {id(store): self.snapshot, id(self.model.embedding): self.snapshot}
+        self._frozen_model = copy.deepcopy(self.model, memo)
+
+    @property
+    def snapshot_version(self) -> int:
+        return self.snapshot.version if self.snapshot is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def submit(self, categorical: np.ndarray, numerical: np.ndarray | None = None) -> PendingPrediction:
+        """Queue one request (a single example or a small row block).
+
+        The request executes when the queue reaches ``max_batch_size`` rows
+        or on :meth:`flush`; the returned handle fills in then.
+        """
+        categorical = np.asarray(categorical, dtype=np.int64)
+        if categorical.ndim == 1:
+            categorical = categorical[None, :]
+        if numerical is not None:
+            numerical = np.asarray(numerical, dtype=np.float64)
+            if numerical.ndim == 1:
+                numerical = numerical[None, :]
+        pending = PendingPrediction(categorical.shape[0], time.perf_counter())
+        self._pending.append(pending)
+        self._pending_categorical.append(categorical)
+        self._pending_numerical.append(numerical)
+        self._pending_rows += pending.rows
+        if self._pending_rows >= self.max_batch_size:
+            self.flush()
+        return pending
+
+    def flush(self) -> int:
+        """Serve every queued request in micro-batches; returns rows served."""
+        served = 0
+        while self._pending:
+            served += self._serve_one_micro_batch()
+        return served
+
+    def predict(self, categorical: np.ndarray, numerical: np.ndarray | None = None) -> np.ndarray:
+        """Synchronous convenience: submit one request and serve it now."""
+        pending = self.submit(categorical, numerical)
+        if not pending.done:
+            self.flush()
+        return pending.result()
+
+    def _serve_one_micro_batch(self) -> int:
+        """Execute one forward pass over up to ``max_batch_size`` queued rows."""
+        requests: list[PendingPrediction] = []
+        categorical: list[np.ndarray] = []
+        numerical: list[np.ndarray | None] = []
+        rows = 0
+        while self._pending and (rows == 0 or rows + self._pending[0].rows <= self.max_batch_size):
+            requests.append(self._pending.popleft())
+            categorical.append(self._pending_categorical.popleft())
+            numerical.append(self._pending_numerical.popleft())
+            rows += requests[-1].rows
+        self._pending_rows -= rows
+
+        cat = np.concatenate(categorical, axis=0)
+        num = None
+        if any(n is not None for n in numerical):
+            # Requests that omitted numerical features get zeros at the
+            # model's expected width so mixed micro-batches still serve.
+            width = getattr(self._frozen_model, "num_numerical", 0)
+            num = np.concatenate(
+                [
+                    n if n is not None else np.zeros((c.shape[0], width))
+                    for n, c in zip(numerical, categorical)
+                ],
+                axis=0,
+            )
+        probabilities = self._frozen_model.predict_proba(cat, num)
+        completed_at = time.perf_counter()
+
+        offset = 0
+        for pending in requests:
+            pending.probabilities = probabilities[offset: offset + pending.rows]
+            pending.latency_s = completed_at - pending.submitted_at
+            self.latency.record(pending.latency_s)
+            offset += pending.rows
+        self.micro_batches += 1
+        self.requests_served += len(requests)
+        self.rows_served += rows
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, float | int]:
+        """Latency percentiles plus micro-batching behaviour."""
+        summary = self.latency.summary()
+        summary["requests_served"] = self.requests_served
+        summary["micro_batches"] = self.micro_batches
+        summary["avg_micro_batch_rows"] = (
+            round(self.rows_served / self.micro_batches, 2) if self.micro_batches else 0.0
+        )
+        summary["snapshot_version"] = self.snapshot_version
+        return summary

@@ -1,0 +1,51 @@
+"""Latency accounting for the serving path (p50/p95/p99).
+
+Production serving is judged on tail latency, not means; the paper's Figure
+13 reports per-batch latency and throughput per embedding method.  The
+tracker here records per-request wall times and summarizes them with the
+standard serving percentiles so both the serving engine and the fig13
+experiment report the same columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The percentiles serving dashboards conventionally report.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class LatencyTracker:
+    """Accumulates per-request latencies and summarizes their distribution."""
+
+    def __init__(self):
+        self._seconds: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        self._seconds.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self._seconds)
+
+    def percentile_ms(self, percentile: float) -> float:
+        if not self._seconds:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._seconds), percentile) * 1e3)
+
+    def summary(self) -> dict[str, float | int]:
+        """Count, mean and tail percentiles in milliseconds."""
+        if not self._seconds:
+            return {"count": 0, "mean_ms": float("nan")} | {
+                f"p{int(p)}_ms": float("nan") for p in PERCENTILES
+            }
+        values = np.asarray(self._seconds) * 1e3
+        out: dict[str, float | int] = {
+            "count": int(values.size),
+            "mean_ms": round(float(values.mean()), 4),
+        }
+        for p in PERCENTILES:
+            out[f"p{int(p)}_ms"] = round(float(np.percentile(values, p)), 4)
+        return out
+
+    def reset(self) -> None:
+        self._seconds.clear()

@@ -1,0 +1,270 @@
+"""Hash-partitioned sharding of any embedding backend.
+
+A :class:`ShardedEmbeddingStore` splits the global feature-id space across
+``N`` shards with a SplitMix64 hash; each shard is a full
+:class:`~repro.embeddings.base.CompressedEmbedding` of any scheme (CAFE,
+AdaEmbed, MDE, Q-R, hash, full) holding ``1/N`` of the total memory budget.
+The store itself is also a ``CompressedEmbedding``, so the routing-plan
+engine from the embedding layer applies at *both* levels:
+
+* the store caches the shard partition of a batch (one hash + one stable
+  sort per training step, shared by ``lookup`` and ``apply_gradients``);
+* each shard backend caches its own per-sub-batch routing plan, because the
+  store hands it the identical sub-batch in both halves of the step.
+
+With one shard the store skips partitioning entirely and delegates to the
+backend, which keeps the default configuration bit-exact with the historical
+direct-embedding path.
+
+Snapshots are copy-on-write: :meth:`ShardedEmbeddingStore.snapshot` is O(1)
+(it freezes the current shard objects); the first ``apply_gradients`` that
+touches a frozen shard replaces it with a private deep copy, leaving the
+frozen object immutable for every outstanding snapshot.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.base import CompressedEmbedding
+from repro.store.base import EmbeddingStore
+from repro.store.snapshot import StoreSnapshot
+from repro.utils.hashing import hash_to_range
+
+#: Default seed of the id -> shard hash (distinct from every backend seed so
+#: shard assignment is independent of intra-shard routing).
+DEFAULT_SHARD_SEED = 2029
+
+
+def partition_by_shard(
+    flat_ids: np.ndarray, num_shards: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group a flat id batch by owning shard.
+
+    Returns ``(order, starts)``: ``order`` is a stable permutation sorting
+    the batch by shard, and ``starts`` has ``num_shards + 1`` entries so that
+    ``order[starts[s]:starts[s + 1]]`` indexes shard ``s``'s sub-batch.
+    """
+    shard_of = hash_to_range(flat_ids, num_shards, seed=seed)
+    order = np.argsort(shard_of, kind="stable")
+    starts = np.searchsorted(shard_of[order], np.arange(num_shards + 1))
+    return order, starts
+
+
+class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
+    """N hash-partitioned embedding shards behind one store interface."""
+
+    def __init__(self, shards: Sequence[CompressedEmbedding], shard_seed: int = DEFAULT_SHARD_SEED):
+        shards = list(shards)
+        if not shards:
+            raise ValueError("ShardedEmbeddingStore requires at least one shard")
+        dims = {shard.dim for shard in shards}
+        features = {shard.num_features for shard in shards}
+        if len(dims) != 1 or len(features) != 1:
+            raise ValueError(
+                f"all shards must agree on (num_features, dim); got dims={sorted(dims)}, "
+                f"num_features={sorted(features)}"
+            )
+        super().__init__(shards[0].num_features, shards[0].dim, dtype=shards[0].dtype)
+        self._shards = shards
+        self.num_shards = len(shards)
+        self.shard_seed = int(shard_seed)
+        # Shards become frozen (shared with a snapshot) when snapshot() runs;
+        # the first write afterwards swaps in a private copy.
+        self._cow_pending = [False] * self.num_shards
+        self.snapshots_taken = 0
+        self.cow_copies = 0
+        if self.num_shards == 1:
+            # The delegating fast path never touches the store-level plan
+            # cache, so surface the backend's stats instead.
+            self.plan_stats = self._shards[0].plan_stats
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        method: str,
+        num_features: int,
+        dim: int,
+        num_shards: int,
+        compression_ratio: float = 1.0,
+        shard_seed: int = DEFAULT_SHARD_SEED,
+        seed: int = 0,
+        **kwargs,
+    ) -> "ShardedEmbeddingStore":
+        """Build ``num_shards`` shards of ``method`` splitting one budget.
+
+        Every shard keeps the *global* id space (ids are not re-indexed; the
+        shard hash decides ownership) but receives ``1/num_shards`` of the
+        total float budget, which is expressed by scaling the per-shard
+        compression ratio.  ``kwargs`` are forwarded to
+        :func:`repro.embeddings.create_embedding` (e.g. ``optimizer``,
+        ``field_cardinalities``).
+        """
+        from repro.embeddings import create_embedding
+
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        shards = [
+            create_embedding(
+                method,
+                num_features=num_features,
+                dim=dim,
+                compression_ratio=compression_ratio * num_shards,
+                rng=np.random.default_rng(seed + 7919 * index),
+                **kwargs,
+            )
+            for index in range(num_shards)
+        ]
+        return cls(shards, shard_seed=shard_seed)
+
+    @property
+    def shards(self) -> tuple[CompressedEmbedding, ...]:
+        return tuple(self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Routing (store level: the shard partition)
+    # ------------------------------------------------------------------ #
+    def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        order, starts = partition_by_shard(flat_ids, self.num_shards, self.shard_seed)
+        return {"order": order, "starts": starts}
+
+    def _shard_slices(self, plan):
+        """Yield ``(shard_index, sub_batch_index_array)`` for non-empty shards."""
+        order = plan.routes["order"]
+        starts = plan.routes["starts"]
+        for shard_index in range(self.num_shards):
+            idx = order[starts[shard_index]: starts[shard_index + 1]]
+            if idx.size:
+                yield shard_index, idx
+
+    # ------------------------------------------------------------------ #
+    # EmbeddingStore / CompressedEmbedding interface
+    # ------------------------------------------------------------------ #
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._check_ids(ids)
+        if self.num_shards == 1:
+            return self._shards[0].lookup(ids)
+        plan = self.plan_for(ids)
+        out = np.empty((len(plan), self.dim), dtype=self.dtype)
+        for shard_index, idx in self._shard_slices(plan):
+            out[idx] = self._shards[shard_index].lookup(plan.flat_ids[idx])
+        return out.reshape(plan.ids_shape + (self.dim,))
+
+    def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        ids = self._check_ids(ids)
+        grads = self._check_grads(ids, grads)
+        if self.num_shards == 1:
+            self._ensure_private(0)
+            self._shards[0].apply_gradients(ids, grads)
+            self._step += 1
+            return
+        plan = self.plan_for(ids)
+        flat_grads = grads.reshape(len(plan), -1)
+        for shard_index, idx in self._shard_slices(plan):
+            self._ensure_private(shard_index)
+            self._shards[shard_index].apply_gradients(plan.flat_ids[idx], flat_grads[idx])
+        self._step += 1
+
+    def memory_floats(self) -> int:
+        return int(sum(shard.memory_floats() for shard in self._shards))
+
+    # ------------------------------------------------------------------ #
+    # Snapshots (copy-on-write)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> StoreSnapshot:
+        """Freeze the current parameters into a read-only serving view.
+
+        O(1): no tables are copied here.  The store marks every shard as
+        shared; training's next write to a shard replaces it with a private
+        deep copy (:attr:`cow_copies` counts those), so the returned view
+        keeps serving exactly the values visible now.
+        """
+        self._cow_pending = [True] * self.num_shards
+        self.snapshots_taken += 1
+        return StoreSnapshot(
+            shards=tuple(self._shards),
+            shard_seed=self.shard_seed,
+            dim=self.dim,
+            num_features=self.num_features,
+            dtype=self.dtype,
+            version=self.snapshots_taken,
+            step=self._step,
+        )
+
+    def _ensure_private(self, shard_index: int) -> None:
+        if not self._cow_pending[shard_index]:
+            return
+        self._shards[shard_index] = copy.deepcopy(self._shards[shard_index])
+        self._cow_pending[shard_index] = False
+        self.cow_copies += 1
+        if self.num_shards == 1:
+            self.plan_stats = self._shards[0].plan_stats
+
+    # ------------------------------------------------------------------ #
+    # Introspection / checkpointing
+    # ------------------------------------------------------------------ #
+    def merged_sketch(self):
+        """One global HotSketch merged from all sketch-carrying shards.
+
+        Only meaningful when the shards are CAFE-style backends; returns
+        ``None`` when no shard exposes a sketch.
+        """
+        sketches = [shard.sketch for shard in self._shards if hasattr(shard, "sketch")]
+        if not sketches:
+            return None
+        return type(sketches[0]).merge_all(sketches)
+
+    def describe(self) -> dict[str, float | int | str]:
+        info = super().describe()
+        info["num_shards"] = self.num_shards
+        info["backend"] = type(self._shards[0]).__name__
+        return info
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {"num_shards": np.asarray(self.num_shards)}
+        for index, shard in enumerate(self._shards):
+            if not hasattr(shard, "state_dict"):
+                raise NotImplementedError(
+                    f"shard backend {type(shard).__name__} does not support state_dict"
+                )
+            for key, value in shard.state_dict().items():
+                state[f"shard{index}.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "num_shards" not in state:
+            # Checkpoint written against a bare embedding layer (pre-store
+            # format): only a single-shard store can absorb it.
+            if self.num_shards != 1:
+                raise ValueError(
+                    "checkpoint has no shard layout and cannot be loaded into a "
+                    f"{self.num_shards}-shard store"
+                )
+            self._load_into_shard(0, dict(state))
+            self.invalidate_plan()
+            return
+        if int(state["num_shards"]) != self.num_shards:
+            raise ValueError(
+                f"checkpoint has {int(state['num_shards'])} shards, store has {self.num_shards}"
+            )
+        for index in range(self.num_shards):
+            prefix = f"shard{index}."
+            self._load_into_shard(
+                index,
+                {key[len(prefix):]: value for key, value in state.items() if key.startswith(prefix)},
+            )
+        self.invalidate_plan()
+
+    def _load_into_shard(self, index: int, state: dict[str, np.ndarray]) -> None:
+        # Restoring is a write: never mutate a shard a snapshot still serves.
+        self._ensure_private(index)
+        shard = self._shards[index]
+        if not hasattr(shard, "load_state_dict"):
+            raise ValueError(f"shard backend {type(shard).__name__} cannot load a state dict")
+        shard.load_state_dict(state)

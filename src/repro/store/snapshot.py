@@ -1,0 +1,75 @@
+"""Read-only snapshot views over a sharded embedding store.
+
+A :class:`StoreSnapshot` captures the shard objects that were live when
+:meth:`~repro.store.sharded.ShardedEmbeddingStore.snapshot` ran.  The store
+guarantees those objects are never written again (copy-on-write: training
+swaps in private copies before mutating), so the snapshot can serve lookups
+indefinitely at the frozen parameter values — the serving engine reads from
+snapshots while online training keeps advancing the live store.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.hashing import hash_to_range
+
+
+class StoreSnapshot:
+    """Immutable lookup view over frozen embedding shards."""
+
+    __slots__ = ("_shards", "shard_seed", "dim", "num_features", "dtype", "version", "step")
+
+    def __init__(
+        self,
+        shards: Sequence,
+        shard_seed: int,
+        dim: int,
+        num_features: int,
+        dtype: np.dtype,
+        version: int = 0,
+        step: int = 0,
+    ):
+        self._shards = tuple(shards)
+        self.shard_seed = int(shard_seed)
+        self.dim = int(dim)
+        self.num_features = int(num_features)
+        self.dtype = np.dtype(dtype)
+        #: Monotonic snapshot counter of the owning store (for cache keys).
+        self.version = int(version)
+        #: Training step of the store at snapshot time.
+        self.step = int(step)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Embeddings of shape ``ids.shape + (dim,)`` at the frozen values."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_features):
+            raise ValueError(
+                f"feature ids must lie in [0, {self.num_features}), got range "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        if self.num_shards == 1:
+            return self._shards[0].lookup(ids)
+        flat = ids.reshape(-1)
+        shard_of = hash_to_range(flat, self.num_shards, seed=self.shard_seed)
+        out = np.empty((flat.shape[0], self.dim), dtype=self.dtype)
+        for shard_index, shard in enumerate(self._shards):
+            mask = shard_of == shard_index
+            if mask.any():
+                out[mask] = shard.lookup(flat[mask])
+        return out.reshape(ids.shape + (self.dim,))
+
+    def memory_floats(self) -> int:
+        return int(sum(shard.memory_floats() for shard in self._shards))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"StoreSnapshot(version={self.version}, step={self.step}, "
+            f"num_shards={self.num_shards}, dim={self.dim})"
+        )

@@ -34,15 +34,42 @@ def save_checkpoint(path: str | Path, model: RecommendationModel, step: int = 0)
     payload: dict[str, np.ndarray] = {f"{_META_PREFIX}step": np.asarray(step)}
     for name, value in model.state_dict().items():
         payload[f"{_DENSE_PREFIX}{name}"] = value
-    embedding = model.embedding
-    if hasattr(embedding, "state_dict"):
-        for name, value in embedding.state_dict().items():
+    sparse_state = _sparse_state_dict(_sparse_target(model))
+    if sparse_state is not None:
+        for name, value in sparse_state.items():
             payload[f"{_SPARSE_PREFIX}{name}"] = value
         payload[f"{_META_PREFIX}has_sparse"] = np.asarray(1)
     else:
         payload[f"{_META_PREFIX}has_sparse"] = np.asarray(0)
     np.savez(path, **payload)
     return path
+
+
+def _sparse_target(model: RecommendationModel):
+    """The object whose sparse state is checkpointed.
+
+    The store is the source of truth for embedding parameters (after a
+    copy-on-write snapshot the live shards may no longer be the object the
+    model was constructed with); models without a store fall back to their
+    bare embedding layer.
+    """
+    return getattr(model, "store", None) or model.embedding
+
+
+def _sparse_state_dict(target) -> dict[str, np.ndarray] | None:
+    """``target.state_dict()``, or ``None`` when the layer has no sparse state.
+
+    Sharded stores raise ``NotImplementedError`` when their backend keeps no
+    checkpointable state (e.g. a plain hash table whose contents are pure
+    function of training); those checkpoints simply omit the sparse section,
+    exactly like a bare stateless layer.
+    """
+    if not hasattr(target, "state_dict"):
+        return None
+    try:
+        return target.state_dict()
+    except NotImplementedError:
+        return None
 
 
 def load_checkpoint(path: str | Path, model: RecommendationModel) -> int:
@@ -63,11 +90,11 @@ def load_checkpoint(path: str | Path, model: RecommendationModel) -> int:
         has_sparse = bool(int(data[f"{_META_PREFIX}has_sparse"]))
     model.load_state_dict(dense)
     if has_sparse:
-        embedding: CompressedEmbedding = model.embedding
-        if not hasattr(embedding, "load_state_dict"):
+        target: CompressedEmbedding = _sparse_target(model)
+        if not hasattr(target, "load_state_dict"):
             raise ValueError(
-                "checkpoint contains embedding state but the model's embedding layer "
-                f"({type(embedding).__name__}) cannot load one"
+                "checkpoint contains embedding state but the model's embedding store "
+                f"({type(target).__name__}) cannot load one"
             )
-        embedding.load_state_dict(sparse)
+        target.load_state_dict(sparse)
     return step

@@ -31,6 +31,11 @@ class LatencyReport:
     #: Fraction of lookup/apply_gradients pairs that reused one routing plan
     #: (1 lookup + 1 update per step → 0.5 means every step shared its plan).
     plan_reuse_rate: float = 0.0
+    #: Per-request serving percentiles measured through the snapshot-backed
+    #: micro-batching engine (NaN when serving was not measured).
+    serve_p50_ms: float = float("nan")
+    serve_p95_ms: float = float("nan")
+    serve_p99_ms: float = float("nan")
 
     def as_row(self) -> dict[str, float | str]:
         return {
@@ -40,7 +45,29 @@ class LatencyReport:
             "train_throughput": round(self.train_throughput, 1),
             "inference_throughput": round(self.inference_throughput, 1),
             "plan_reuse_rate": round(self.plan_reuse_rate, 3),
+            "serve_p50_ms": round(self.serve_p50_ms, 3),
+            "serve_p95_ms": round(self.serve_p95_ms, 3),
+            "serve_p99_ms": round(self.serve_p99_ms, 3),
         }
+
+
+def measure_serving_latency(
+    model: RecommendationModel, batch: Batch, micro_batch: int = 64
+) -> dict[str, float | int]:
+    """Replay ``batch`` row-by-row through the snapshot serving engine.
+
+    Each row is one request; the engine coalesces up to ``micro_batch`` rows
+    per forward pass over a copy-on-write store snapshot.  Returns the
+    engine's latency summary (p50/p95/p99 in milliseconds).
+    """
+    from repro.serving.engine import ServingEngine
+
+    engine = ServingEngine(model, max_batch_size=micro_batch)
+    has_numerical = batch.numerical.shape[1] > 0
+    for row in range(len(batch)):
+        engine.submit(batch.categorical[row], batch.numerical[row] if has_numerical else None)
+    engine.flush()
+    return engine.stats()
 
 
 def measure_latency(
@@ -50,8 +77,13 @@ def measure_latency(
     method_name: str,
     warmup: int = 2,
     repeats: int = 5,
+    serving_micro_batch: int | None = 64,
 ) -> LatencyReport:
-    """Time training steps and inference passes for one model."""
+    """Time training steps, inference passes and (optionally) serving.
+
+    ``serving_micro_batch`` enables the per-request serving measurement
+    through the snapshot engine; pass ``None`` to skip it.
+    """
     trainer = Trainer(model)
     for _ in range(warmup):
         trainer.train_step(train_batch)
@@ -69,9 +101,17 @@ def measure_latency(
         model.predict_proba(inference_batch.categorical, inference_batch.numerical)
         inference_times.append(time.perf_counter() - start)
 
+    # Read the plan-cache stats before the serving replay: serving lookups
+    # run through the same (copy-on-write-shared) shard objects and would
+    # otherwise dilute the training-step reuse rate this column reports.
+    plan_stats = trainer.embedding_plan_stats()
+
+    serve_stats: dict[str, float | int] = {}
+    if serving_micro_batch is not None:
+        serve_stats = measure_serving_latency(model, inference_batch, serving_micro_batch)
+
     train_latency = float(np.median(train_times))
     inference_latency = float(np.median(inference_times))
-    plan_stats = trainer.embedding_plan_stats()
     return LatencyReport(
         method=method_name,
         train_latency_ms=train_latency * 1e3,
@@ -79,6 +119,9 @@ def measure_latency(
         train_throughput=len(train_batch) / train_latency,
         inference_throughput=len(inference_batch) / inference_latency,
         plan_reuse_rate=plan_stats["reuse_rate"] if plan_stats is not None else 0.0,
+        serve_p50_ms=float(serve_stats.get("p50_ms", float("nan"))),
+        serve_p95_ms=float(serve_stats.get("p95_ms", float("nan"))),
+        serve_p99_ms=float(serve_stats.get("p99_ms", float("nan"))),
     )
 
 

@@ -76,9 +76,10 @@ class Trainer:
     def train_step(self, batch: Batch) -> float:
         """One forward/backward/update pass; returns the batch loss.
 
-        The embedding layer computes its routing plan during the forward
+        The embedding store computes its routing plan during the forward
         lookup and reuses it here when the gradients come back, so hashing
-        and slot location run once per step, not twice.
+        and slot location run once per step, not twice — at the shard level
+        and inside each shard backend.
         """
         logits, leaf = self.model.forward(batch.categorical, batch.numerical)
         loss = F.binary_cross_entropy_with_logits(logits, batch.labels)
@@ -86,14 +87,14 @@ class Trainer:
         loss.backward()
         if leaf.grad is None:  # pragma: no cover - defensive, autograd always fills it
             raise RuntimeError("embedding leaf did not receive a gradient")
-        self.model.embedding.apply_gradients(batch.categorical, leaf.grad)
+        self.model.store.apply_gradients(batch.categorical, leaf.grad)
         self.dense_optimizer.step()
         self.global_step += 1
         return float(loss.data)
 
     def embedding_plan_stats(self) -> dict[str, float | int] | None:
-        """Routing-plan cache behaviour of the model's embedding layer."""
-        stats = getattr(self.model.embedding, "plan_stats", None)
+        """Routing-plan cache behaviour of the model's embedding store."""
+        stats = getattr(self.model.store, "plan_stats", None)
         return stats.as_dict() if stats is not None else None
 
     # ------------------------------------------------------------------ #
@@ -157,7 +158,7 @@ class Trainer:
             grads = leaf.grad.reshape(-1, self.model.dim)
             norms = np.linalg.norm(grads, axis=1)
             np.add.at(totals, batch.categorical.reshape(-1), norms)
-            self.model.embedding.apply_gradients(batch.categorical, leaf.grad)
+            self.model.store.apply_gradients(batch.categorical, leaf.grad)
             self.dense_optimizer.step()
             self.global_step += 1
         return totals

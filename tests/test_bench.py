@@ -23,7 +23,13 @@ def test_report_structure_and_write(tmp_path):
     report = run_benchmarks(TINY)
     assert report["workload"]["smoke"] is True
     results = report["results"]
-    for section in ("cafe_train_step", "hash_train_step", "hotsketch_insert"):
+    for section in (
+        "cafe_train_step",
+        "hash_train_step",
+        "hotsketch_insert",
+        "shard_scaling",
+        "serving",
+    ):
         assert section in results
     cafe = results["cafe_train_step"]
     assert cafe["steps_per_s"] > 0
@@ -31,7 +37,39 @@ def test_report_structure_and_write(tmp_path):
     assert cafe["speedup_vs_baseline"] > 0
     # Every step is one plan build (lookup) + one reuse (apply_gradients).
     assert cafe["plan_reuse_rate"] == 0.5
+
+    scaling = results["shard_scaling"]
+    assert scaling["shard_counts"] == [1, 2]  # smoke config drops the larger counts
+    assert {row["num_shards"] for row in scaling["rows"]} == {1, 2}
+    assert all(row["steps_per_s"] > 0 for row in scaling["rows"])
+    serving = results["serving"]
+    assert all(row["requests_per_s"] > 0 and row["p99_ms"] >= row["p50_ms"] for row in serving["rows"])
     assert results["hotsketch_insert"]["speedup_vs_baseline"] > 0
 
     path = write_report(report, tmp_path / "BENCH_embedding.json")
-    assert json.loads(path.read_text()) == report
+    envelope = json.loads(path.read_text())
+    assert envelope["history"] == []
+    assert envelope["latest"]["results"] == report["results"]
+    assert "recorded_at" in envelope["latest"]
+
+
+def test_write_report_appends_history(tmp_path):
+    path = tmp_path / "BENCH_embedding.json"
+    first = {"schema_version": 2, "workload": {"smoke": True}, "results": {"metric": 1}}
+    second = {"schema_version": 2, "workload": {"smoke": True}, "results": {"metric": 2}}
+    write_report(first, path)
+    write_report(second, path)
+    envelope = json.loads(path.read_text())
+    assert envelope["latest"]["results"] == {"metric": 2}
+    assert [entry["results"] for entry in envelope["history"]] == [{"metric": 1}]
+
+
+def test_write_report_migrates_v1_file(tmp_path):
+    """A pre-history (schema 1) report file becomes the first history entry."""
+    path = tmp_path / "BENCH_embedding.json"
+    v1 = {"schema_version": 1, "workload": {}, "results": {"metric": 0}}
+    path.write_text(json.dumps(v1))
+    write_report({"schema_version": 2, "workload": {}, "results": {"metric": 3}}, path)
+    envelope = json.loads(path.read_text())
+    assert [entry["results"] for entry in envelope["history"]] == [{"metric": 0}]
+    assert envelope["latest"]["results"] == {"metric": 3}

@@ -101,6 +101,60 @@ class TestCheckpoint:
         path = save_checkpoint(tmp_path / "nested" / "dir" / "ckpt.npz", model)
         assert path.exists()
 
+    @pytest.mark.parametrize("table_dtype", ["float32", "float16"])
+    def test_restore_preserves_configured_table_dtype(self, tmp_path, table_dtype):
+        """Regression: restoring a checkpoint must keep the configured table
+        dtype instead of silently promoting arrays to float64."""
+        dataset = tiny_dataset()
+
+        def typed_model(seed):
+            embedding = CafeEmbedding(
+                num_features=dataset.schema.num_features,
+                dim=DIM,
+                num_hot_rows=12,
+                num_shared_rows=24,
+                rebalance_interval=3,
+                learning_rate=0.1,
+                dtype=table_dtype,
+                rng=seed,
+            )
+            return build_model(dataset, embedding=embedding, seed=seed)
+
+        model = typed_model(0)
+        trainer = Trainer(model, TrainingConfig(batch_size=64))
+        for batch in dataset.day_batches(0, 64):
+            trainer.train_step(batch)
+        path = save_checkpoint(tmp_path / "typed.npz", model, step=trainer.global_step)
+
+        restored = typed_model(7)
+        load_checkpoint(path, restored)
+        embedding = restored.embedding
+        assert embedding.hot_table.dtype == np.dtype(table_dtype)
+        assert embedding.shared_table.dtype == np.dtype(table_dtype)
+        test = dataset.test_batch(200)
+        assert np.allclose(
+            model.predict_proba(test.categorical, test.numerical),
+            restored.predict_proba(test.categorical, test.numerical),
+        )
+
+    def test_restore_preserves_dense_parameter_dtype(self, tmp_path):
+        """Dense parameters restore at their configured dtype too: a float32
+        autograd session must not come back as float64."""
+        from repro.nn.tensor import get_default_dtype, set_default_dtype
+
+        previous = get_default_dtype()
+        try:
+            set_default_dtype(np.float32)
+            dataset = tiny_dataset()
+            model = build_model(dataset)
+            assert all(p.data.dtype == np.float32 for p in model.parameters())
+            path = save_checkpoint(tmp_path / "f32.npz", model)
+            restored = build_model(dataset, seed=3)
+            load_checkpoint(path, restored)
+            assert all(p.data.dtype == np.float32 for p in restored.parameters())
+        finally:
+            set_default_dtype(previous)
+
 
 class TestQuantizedEmbedding:
     def test_invalid_bits(self):
