@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Markdown link checker for README.md and docs/.
+
+Verifies that every relative link in the given markdown files points at an
+existing file (and, for ``file.md#anchor`` links, at an existing heading:
+anchors are derived from headings with the GitHub slug rules — lowercase,
+spaces to dashes, punctuation dropped).  External ``http(s):`` links are
+not fetched (CI must not depend on the network); they are only checked for
+obvious malformation.
+
+Usage::
+
+    python scripts/check_docs_links.py README.md docs/*.md
+    python scripts/check_docs_links.py            # defaults to README + docs/
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — skips images' leading ``!`` handling (images use the
+#: same target rules) and inline code spans (stripped before matching).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All anchor slugs defined by a markdown file's headings."""
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slug = github_slug(match.group(1))
+            # GitHub de-duplicates repeats as slug-1, slug-2, ...
+            candidate, suffix = slug, 0
+            while candidate in anchors:
+                suffix += 1
+                candidate = f"{slug}-{suffix}"
+            anchors.add(candidate)
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every markdown link in ``path``."""
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = CODE_SPAN_RE.sub("", line)
+        for match in LINK_RE.finditer(stripped):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken-link problems in one markdown file."""
+    problems: list[str] = []
+    for line, target in iter_links(path):
+        where = f"{path}:{line}"
+        if target.startswith(("http://", "https://")):
+            if " " in target:
+                problems.append(f"{where}: malformed URL '{target}'")
+            continue
+        if target.startswith("mailto:"):
+            continue
+        base, _, anchor = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if base and not dest.exists():
+            problems.append(f"{where}: missing file '{base}'")
+            continue
+        if anchor:
+            if dest.is_dir():
+                problems.append(f"{where}: anchor on a directory '{target}'")
+            elif dest.suffix == ".md" and anchor not in heading_anchors(dest):
+                problems.append(f"{where}: missing anchor '#{anchor}' in {dest.name}")
+    return problems
+
+
+def check_paths(paths: list[Path]) -> list[str]:
+    problems: list[str] = []
+    for path in paths:
+        problems.extend(check_file(path))
+    return problems
+
+
+def default_paths(root: Path) -> list[Path]:
+    return [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(arg) for arg in argv] if argv else default_paths(Path.cwd())
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such file(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    problems = check_paths(paths)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(paths)} files: {len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

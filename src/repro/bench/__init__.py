@@ -1,6 +1,7 @@
 """Micro-benchmarks tracking the embedding hot path PR over PR."""
 
 from repro.bench.embedding_bench import (
+    BENCH_DOCS,
     DEFAULT_OUTPUT,
     BenchConfig,
     bench_cafe_train_step,
@@ -10,8 +11,10 @@ from repro.bench.embedding_bench import (
     run_benchmarks,
     write_report,
 )
+from repro.bench.runtime_bench import bench_online_pipeline, bench_shard_parallel
 
 __all__ = [
+    "BENCH_DOCS",
     "DEFAULT_OUTPUT",
     "BenchConfig",
     "bench_cafe_train_step",
@@ -20,4 +23,6 @@ __all__ = [
     "make_workload",
     "run_benchmarks",
     "write_report",
+    "bench_shard_parallel",
+    "bench_online_pipeline",
 ]

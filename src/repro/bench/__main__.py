@@ -5,7 +5,13 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.bench.embedding_bench import DEFAULT_OUTPUT, BenchConfig, run_benchmarks, write_report
+from repro.bench.embedding_bench import (
+    BENCH_DOCS,
+    DEFAULT_OUTPUT,
+    BenchConfig,
+    run_benchmarks,
+    write_report,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,6 +55,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"cannot write report to '{args.output}': {exc}")
     print(json.dumps(report, indent=2))
     print(f"\nwrote {path}")
+    print(f"envelope schema and how to compare runs: {BENCH_DOCS}")
     return 0
 
 

@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench.legacy import LegacyCafeEmbedding, LegacyHotSketch
+from repro.bench.runtime_bench import bench_online_pipeline, bench_shard_parallel
 from repro.bench.store_bench import bench_serving_throughput, bench_shard_scaling
 from repro.embeddings.cafe import CafeEmbedding
 from repro.embeddings.hash_embedding import HashEmbedding
@@ -34,6 +35,9 @@ from repro.sketch.hotsketch import HotSketch
 from repro.utils.zipf import ZipfDistribution
 
 DEFAULT_OUTPUT = "BENCH_embedding.json"
+
+#: Where the report envelope and per-section schemas are documented.
+BENCH_DOCS = "docs/benchmarks.md"
 
 #: Superseded reports kept in the on-disk history (oldest dropped first).
 MAX_HISTORY = 100
@@ -182,6 +186,8 @@ def run_benchmarks(config: BenchConfig) -> dict:
             "hotsketch_insert": bench_hotsketch_insert(config),
             "shard_scaling": bench_shard_scaling(config),
             "serving": bench_serving_throughput(config),
+            "shard_parallel": bench_shard_parallel(config),
+            "online_pipeline": bench_online_pipeline(config),
         },
     }
 

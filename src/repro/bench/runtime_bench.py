@@ -1,0 +1,185 @@
+"""Benchmarks for the shard-parallel runtime and the online pipeline.
+
+Two sections feed ``BENCH_embedding.json`` (schema in ``docs/benchmarks.md``):
+
+* ``shard_parallel`` — lookup fan-out latency of a
+  :class:`~repro.store.sharded.ShardedEmbeddingStore` under the serial and
+  thread-pool :class:`~repro.runtime.executor.ShardExecutor`, at increasing
+  shard counts.  Each row reports two regimes:
+
+  - *simulated-remote*: every shard is wrapped in a
+    :class:`~repro.runtime.simulate.LatencySimulatedShard` charging a fixed
+    per-operation stall (an RPC round-trip).  Stalls release the GIL, so the
+    threaded executor overlaps them and the fan-out speedup approaches the
+    shard count — this is the regime the ≥ 1.5x-at-4-shards acceptance
+    criterion is measured in.
+  - *in-process*: the bare NumPy backends.  On a single core the GIL keeps
+    CPU-bound shard work serialized, so this speedup hovers around (or
+    below) 1.0 — reported honestly as the cost of thread handoff.
+
+* ``online_pipeline`` — the train→serve loop of
+  :class:`~repro.runtime.pipeline.OnlinePipeline`: training throughput,
+  snapshot publish latency, the maximum snapshot staleness observed against
+  the configured cadence, and serve-while-train probe latency.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.models.dlrm import DLRM
+from repro.runtime.executor import create_executor
+from repro.runtime.pipeline import OnlinePipeline, PipelineConfig
+from repro.runtime.simulate import LatencySimulatedShard
+from repro.store import ShardedEmbeddingStore
+from repro.utils.zipf import ZipfDistribution
+
+#: Simulated per-shard RPC round-trip charged in the simulated-remote regime.
+DEFAULT_STALL_MS = 2.0
+
+#: Fields of the synthetic pipeline model (matches the serving benchmark).
+PIPELINE_FIELDS = 4
+
+
+def _build_store(config, num_shards: int, stall_ms: float, executor_kind: str):
+    """A hash-backend store, optionally latency-wrapped per shard."""
+    from repro.embeddings import create_embedding
+
+    shards = []
+    for index in range(num_shards):
+        shard = create_embedding(
+            "hash",
+            num_features=config.num_features,
+            dim=config.dim,
+            compression_ratio=config.compression_ratio * num_shards,
+            rng=np.random.default_rng(config.seed + 7919 * index),
+            dtype=config.dtype,
+        )
+        if stall_ms > 0:
+            shard = LatencySimulatedShard(shard, stall_s=stall_ms * 1e-3)
+        shards.append(shard)
+    return ShardedEmbeddingStore(shards, executor=create_executor(executor_kind))
+
+
+def _time_lookups(store, ids: np.ndarray, warmup: int) -> float:
+    """Seconds per lookup fan-out over the id workload."""
+    for step in range(warmup):
+        store.lookup(ids[step])
+    timed = ids.shape[0] - warmup
+    start = time.perf_counter()
+    for step in range(warmup, ids.shape[0]):
+        store.lookup(ids[step])
+    return (time.perf_counter() - start) / timed
+
+
+def bench_shard_parallel(
+    config,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    stall_ms: float = DEFAULT_STALL_MS,
+    steps: int = 10,
+    warmup: int = 2,
+) -> dict:
+    """Serial vs threaded lookup fan-out at increasing shard counts."""
+    if config.smoke:
+        shard_counts = tuple(s for s in shard_counts if s <= 4)
+        steps = min(steps, 8)
+    zipf = ZipfDistribution(config.num_features, config.zipf_exponent)
+    ids = zipf.sample((steps + warmup) * config.batch_size, rng=config.seed + 11)
+    ids = ids.reshape(steps + warmup, config.batch_size)
+
+    rows = []
+    for num_shards in shard_counts:
+        timings: dict[str, float] = {}
+        for regime, regime_stall in (("remote", stall_ms), ("in_process", 0.0)):
+            for kind in ("serial", "thread"):
+                store = _build_store(config, num_shards, regime_stall, kind)
+                timings[f"{regime}_{kind}"] = _time_lookups(store, ids, warmup)
+                store.executor.close()
+        rows.append(
+            {
+                "num_shards": num_shards,
+                "stall_ms": stall_ms,
+                "remote_serial_ms": round(timings["remote_serial"] * 1e3, 3),
+                "remote_threaded_ms": round(timings["remote_thread"] * 1e3, 3),
+                # The acceptance metric: threaded fan-out over stalling
+                # shards vs the same shards behind the serial executor.
+                "fanout_speedup": round(timings["remote_serial"] / timings["remote_thread"], 3),
+                "in_process_serial_ms": round(timings["in_process_serial"] * 1e3, 3),
+                "in_process_threaded_ms": round(timings["in_process_thread"] * 1e3, 3),
+                "in_process_speedup": round(
+                    timings["in_process_serial"] / timings["in_process_thread"], 3
+                ),
+            }
+        )
+    return {
+        "shard_counts": list(shard_counts),
+        "stall_ms": stall_ms,
+        "batch_size": config.batch_size,
+        "rows": rows,
+    }
+
+
+def bench_online_pipeline(
+    config,
+    num_shards: int = 2,
+    publish_every: int = 10,
+    probe_every: int = 3,
+) -> dict:
+    """Train→serve pipeline throughput, publish latency and staleness bound."""
+    from repro.data import SyntheticConfig, SyntheticCTRDataset, make_preset
+
+    max_steps = 20 if config.smoke else 40
+    schema = make_preset("criteo", base_cardinality=300, seed=config.seed)
+    schema.num_days = 3
+    dataset = SyntheticCTRDataset(
+        schema, config=SyntheticConfig(samples_per_day=2048, seed=config.seed)
+    )
+
+    rows = []
+    for kind in ("serial", "thread"):
+        store = ShardedEmbeddingStore.build(
+            "cafe",
+            num_features=schema.num_features,
+            dim=config.dim,
+            num_shards=num_shards,
+            compression_ratio=config.compression_ratio,
+            seed=config.seed,
+            dtype=config.dtype,
+            executor=create_executor(kind),
+        )
+        model = DLRM(
+            store, num_fields=schema.num_fields, num_numerical=schema.num_numerical,
+            rng=config.seed,
+        )
+        pipeline = OnlinePipeline(
+            model,
+            config=PipelineConfig(
+                publish_every_steps=publish_every,
+                probe_every_steps=probe_every,
+                serving_micro_batch=64,
+                max_steps=max_steps,
+            ),
+        )
+        report = pipeline.run(
+            dataset.training_stream(128), probe_batch=dataset.test_batch(128)
+        )
+        summary = report.as_dict()
+        probe = summary["probe"] or {}
+        rows.append(
+            {
+                "executor": kind,
+                "steps": summary["steps"],
+                "steps_per_s": summary["steps_per_s"],
+                "publishes": summary["publishes"],
+                "publish_p50_ms": summary["publish_p50_ms"],
+                "cadence_steps": summary["cadence_steps"],
+                "max_staleness_steps": summary["max_staleness_steps"],
+                "staleness_within_cadence": summary["staleness_within_cadence"],
+                "probe_p50_ms": probe.get("p50_ms", float("nan")),
+                "probe_p95_ms": probe.get("p95_ms", float("nan")),
+            }
+        )
+        store.executor.close()
+    return {"num_shards": num_shards, "publish_every": publish_every, "rows": rows}

@@ -19,6 +19,17 @@ class Batch:
     zero columns), ``labels`` holds binary click labels ``(batch,)``, and
     ``day`` records which logical day the samples belong to (used by the
     online-training protocol and the drift experiments).
+
+    >>> batch = Batch(
+    ...     categorical=np.array([[1, 2], [3, 4], [5, 6]]),
+    ...     numerical=np.zeros((3, 0)),
+    ...     labels=np.array([1.0, 0.0, 1.0]),
+    ... )
+    >>> len(batch)
+    3
+    >>> [len(b) for b in iterate_batches(
+    ...     batch.categorical, batch.numerical, batch.labels, batch_size=2)]
+    [2, 1]
     """
 
     categorical: np.ndarray

@@ -127,6 +127,10 @@ class AdaEmbed(TableBackedEmbedding):
         return {"rows": rows, "allocated": allocated, "shared_rows": shared_rows}
 
     def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Gather allocated features from their private rows and the rest from
+        the shared fallback table, per the current importance-driven
+        allocation.
+        """
         ids = self._check_ids(ids)
         plan = self.plan_for(ids)
         rows, allocated = plan.routes["rows"], plan.routes["allocated"]
@@ -138,6 +142,9 @@ class AdaEmbed(TableBackedEmbedding):
         return out.reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Update allocated/shared rows, fold gradient norms into the decayed
+        importance scores, and run the periodic reallocation pass.
+        """
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         plan = self.plan_for(ids)
@@ -168,6 +175,17 @@ class AdaEmbed(TableBackedEmbedding):
     # ------------------------------------------------------------------ #
     # Reallocation (the "sampling and migration" the paper charges latency to)
     # ------------------------------------------------------------------ #
+    def rebalance(self) -> bool:
+        """Run one importance-driven reallocation pass immediately.
+
+        The same pass :meth:`apply_gradients` runs every
+        ``reallocation_interval`` steps, exposed so a sharded store can fan
+        explicit rebalances out across shards.  Invalidates cached routing.
+        """
+        self._reallocate()
+        self.invalidate_plan()
+        return True
+
     def _reallocate(self) -> None:
         """Give rows to the currently most-important features.
 
@@ -212,4 +230,5 @@ class AdaEmbed(TableBackedEmbedding):
         return int((self.row_of != UNALLOCATED).sum())
 
     def memory_floats(self) -> int:
+        """Private rows + shared table + the per-feature importance array."""
         return int(self.table.size + self.shared_table.size + self.importance.size)

@@ -51,18 +51,40 @@ class CompressedEmbedding:
     # Required interface
     # ------------------------------------------------------------------ #
     def lookup(self, ids: np.ndarray) -> np.ndarray:
-        """Return embeddings for global feature ids of shape ``(..., )``.
+        """Return embeddings for a batch of global feature ids.
 
-        The output shape is ``ids.shape + (dim,)``.
+        ``ids`` may have any shape; every value must lie in
+        ``[0, num_features)``.  The output has shape ``ids.shape + (dim,)``
+        and dtype :attr:`dtype`.  Looking up the same id twice in one batch
+        returns the same vector twice.  ``lookup`` never mutates parameters,
+        but it *does* build and cache the batch's routing plan, so a
+        training step should call ``lookup`` before ``apply_gradients`` to
+        get the hash/locate pass for free on the update half.
         """
         raise NotImplementedError  # pragma: no cover - abstract
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
-        """Update parameters given per-lookup gradients.
+        """Apply per-lookup gradients; the layer's only mutating operation.
 
-        ``grads`` must have shape ``ids.shape + (dim,)``.
+        ``grads`` must have shape ``ids.shape + (dim,)`` — the gradient of
+        the loss with respect to each vector the preceding :meth:`lookup`
+        returned.  Duplicate ids accumulate (their gradients sum into the
+        same row).  Adaptive schemes also fold per-lookup gradient norms
+        into their importance statistics here (CAFE's HotSketch insert), so
+        the call can move features between representations as a side effect.
         """
         raise NotImplementedError  # pragma: no cover - abstract
+
+    def rebalance(self) -> bool:
+        """Force one adaptivity pass (row migration), if the scheme has one.
+
+        Adaptive schemes run this periodically from inside
+        :meth:`apply_gradients`; exposing it lets a sharded store fan an
+        explicit rebalance out across shards on its own schedule.  Returns
+        ``True`` if the layer performed (or supports) rebalancing, ``False``
+        for static schemes where the call is a no-op.
+        """
+        return False
 
     def memory_floats(self) -> int:
         """Total memory footprint in float32-equivalent parameters.

@@ -211,6 +211,10 @@ class CafeEmbedding(TableBackedEmbedding):
     # Lookup
     # ------------------------------------------------------------------ #
     def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Gather hot features (sketch payload points at an exclusive row) from
+        the hot table and the rest from the shared hashed table, per the
+        cached routing plan (paper Fig. 4 serving path).
+        """
         ids = self._check_ids(ids)
         plan = self.plan_for(ids)
         routes = plan.routes
@@ -226,6 +230,9 @@ class CafeEmbedding(TableBackedEmbedding):
     # Gradient application + sketch maintenance
     # ------------------------------------------------------------------ #
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Update hot/shared rows, feed gradient norms into HotSketch, and run
+        the periodic decay / threshold / migration passes (paper §3).
+        """
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         # The plan built by the forward pass is reused here (cache hit), so
@@ -268,6 +275,21 @@ class CafeEmbedding(TableBackedEmbedding):
     # ------------------------------------------------------------------ #
     # Migration machinery (§3.3)
     # ------------------------------------------------------------------ #
+    def rebalance(self) -> bool:
+        """Run one threshold-adaptation + migration pass immediately.
+
+        The same pass :meth:`apply_gradients` runs every
+        ``rebalance_interval`` steps, exposed so a sharded store can fan
+        explicit rebalances out across shards on its own schedule.  Safe to
+        call at any point between training steps; invalidates any cached
+        routing plan.
+        """
+        if self.adaptive_threshold:
+            self._update_threshold()
+        self._rebalance()
+        self.invalidate_plan()
+        return True
+
     def _release_rows(self, rows: np.ndarray) -> None:
         self.migrations_out += self._free_rows.release(rows)
 
@@ -361,6 +383,7 @@ class CafeEmbedding(TableBackedEmbedding):
             raise AssertionError("exclusive rows leaked or double-assigned")
 
     def memory_floats(self) -> int:
+        """Hot table + shared table(s) + the HotSketch slots (§5.1.4 fairness)."""
         return int(self.hot_table.size + self._shared_memory_floats() + self.sketch.memory_floats())
 
     # ------------------------------------------------------------------ #

@@ -33,10 +33,12 @@ class FullEmbedding(TableBackedEmbedding):
         self._optimizer = self._new_row_optimizer()
 
     def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Gather the id's own row: one uncompressed row per feature."""
         ids = self._check_ids(ids)
         return self.table[ids]
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Scatter gradients into each id's private row (duplicates accumulate)."""
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         flat_ids, flat_grads = self._flatten(ids, grads)
@@ -44,4 +46,5 @@ class FullEmbedding(TableBackedEmbedding):
         self._step += 1
 
     def memory_floats(self) -> int:
+        """The full ``num_features x dim`` table."""
         return int(self.table.size)

@@ -72,11 +72,17 @@ class HashEmbedding(TableBackedEmbedding):
         return {"rows": self._rows_for(flat_ids)}
 
     def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Gather each id's single hashed row from the shared table (hash-trick:
+        colliding features share one row verbatim); see the base contract.
+        """
         ids = self._check_ids(ids)
         plan = self.plan_for(ids)
         return self.table[plan.routes["rows"]].reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Scatter per-lookup gradients into the hashed rows; colliding
+        features accumulate into the same shared row.
+        """
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         plan = self.plan_for(ids)
@@ -84,4 +90,5 @@ class HashEmbedding(TableBackedEmbedding):
         self._step += 1
 
     def memory_floats(self) -> int:
+        """One ``num_rows x dim`` table; no auxiliary structures."""
         return int(self.table.size)

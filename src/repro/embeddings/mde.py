@@ -155,6 +155,9 @@ class MixedDimensionEmbedding(TableBackedEmbedding):
         return {"fields": fields, "local": local, "present_fields": np.unique(fields)}
 
     def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Gather from the owning field's reduced-dimension table and project
+        up to ``dim`` with the field's projection matrix.
+        """
         ids = self._check_ids(ids)
         plan = self.plan_for(ids)
         fields, local = plan.routes["fields"], plan.routes["local"]
@@ -166,6 +169,10 @@ class MixedDimensionEmbedding(TableBackedEmbedding):
         return out.reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Back-project each gradient through the field's projection matrix and
+        scatter it into the field's reduced-dimension table (the projection
+        matrices themselves also receive gradients).
+        """
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         plan = self.plan_for(ids)
@@ -187,6 +194,7 @@ class MixedDimensionEmbedding(TableBackedEmbedding):
         self._step += 1
 
     def memory_floats(self) -> int:
+        """Per-field reduced tables plus their projection matrices."""
         rows = sum(table.size for table in self.tables)
         proj = sum(
             proj.size for proj, fdim in zip(self.projections, self.field_dims) if fdim != self.dim

@@ -102,6 +102,9 @@ class OfflineSeparationEmbedding(TableBackedEmbedding):
         return {"rows": rows, "hot_mask": hot_mask, "shared_rows": shared_rows}
 
     def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Gather hot features (by offline frequency oracle) from private rows
+        and cold features from the shared table.
+        """
         ids = self._check_ids(ids)
         plan = self.plan_for(ids)
         rows, hot_mask = plan.routes["rows"], plan.routes["hot_mask"]
@@ -113,6 +116,9 @@ class OfflineSeparationEmbedding(TableBackedEmbedding):
         return out.reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Update the private/shared rows under the fixed offline hot/cold
+        split; no importance tracking happens online.
+        """
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         plan = self.plan_for(ids)

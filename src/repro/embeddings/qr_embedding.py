@@ -128,6 +128,9 @@ class QRTrickEmbedding(TableBackedEmbedding):
         return {"quotient": quotient, "remainder": remainder}
 
     def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Compose each embedding as quotient-table row + remainder-table row
+        (the Q-R trick), so distinct ids rarely share the full sum.
+        """
         ids = self._check_ids(ids)
         plan = self.plan_for(ids)
         q_vec = self.quotient_table[plan.routes["quotient"]]
@@ -141,6 +144,9 @@ class QRTrickEmbedding(TableBackedEmbedding):
         return out.reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Scatter each per-lookup gradient into both the quotient and the
+        remainder row of the id.
+        """
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         plan = self.plan_for(ids)
@@ -160,4 +166,5 @@ class QRTrickEmbedding(TableBackedEmbedding):
         self._step += 1
 
     def memory_floats(self) -> int:
+        """Quotient plus remainder tables; no auxiliary structures."""
         return int(self.quotient_table.size + self.remainder_table.size)

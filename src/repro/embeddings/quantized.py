@@ -53,6 +53,9 @@ class QuantizedEmbedding(CompressedEmbedding):
     # CompressedEmbedding interface
     # ------------------------------------------------------------------ #
     def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Serve the base layer's vectors fake-quantized to the configured bit
+        width (what a quantized serving copy would return).
+        """
         return self._fake_quantize(self.base.lookup(ids))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:

@@ -65,4 +65,10 @@ def run_fig13_latency_throughput(
         "serve_p50/p95/p99_ms: per-request latency through the snapshot serving engine "
         "(single-example requests micro-batched over a copy-on-write store snapshot)"
     )
+    result.add_note(
+        "swt_p50/p95_ms: serve-while-train probe latency through the OnlinePipeline "
+        "(requests answered from the last published snapshot while training continues); "
+        "publish_p50_ms is the snapshot publish latency and staleness_steps the worst "
+        "snapshot lag observed (bounded by the publish cadence)"
+    )
     return result

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.pipeline`` (see :mod:`repro.runtime.cli`)."""
+
+from repro.runtime.cli import build_parser, main, run_pipeline_session
+
+__all__ = ["main", "build_parser", "run_pipeline_session"]
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess/CI
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Shard-parallel runtime: executors, latency simulation, online pipeline.
+
+``repro.runtime`` holds the pieces that turn the store + serving stack into
+a continuously running system:
+
+* :mod:`repro.runtime.executor` — the :class:`ShardExecutor` interface with
+  serial and thread-pool implementations, used by
+  :class:`~repro.store.sharded.ShardedEmbeddingStore` to fan per-shard work
+  out concurrently;
+* :mod:`repro.runtime.simulate` — :class:`LatencySimulatedShard`, an
+  embedding wrapper that charges a per-operation stall so remote-shard
+  deployments can be benchmarked in-process;
+* :mod:`repro.runtime.pipeline` — :class:`OnlinePipeline`, the train→serve
+  loop that publishes copy-on-write store snapshots to a live
+  :class:`~repro.serving.engine.ServingEngine` on a configurable cadence.
+
+The pipeline names are loaded lazily (PEP 562) because the pipeline pulls in
+the training/serving stack, which itself imports the store package.
+"""
+
+from repro.runtime.executor import (
+    EXECUTOR_KINDS,
+    ExecutorStats,
+    SerialShardExecutor,
+    ShardExecutor,
+    ThreadPoolShardExecutor,
+    create_executor,
+)
+from repro.runtime.simulate import LatencySimulatedShard
+
+__all__ = [
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadPoolShardExecutor",
+    "ExecutorStats",
+    "create_executor",
+    "EXECUTOR_KINDS",
+    "LatencySimulatedShard",
+    "OnlinePipeline",
+    "PipelineConfig",
+    "PipelineReport",
+]
+
+_PIPELINE_NAMES = ("OnlinePipeline", "PipelineConfig", "PipelineReport")
+
+
+def __getattr__(name):
+    if name in _PIPELINE_NAMES:
+        from repro.runtime import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro.runtime' has no attribute '{name}'")

@@ -1,0 +1,120 @@
+"""``python -m repro.pipeline`` — run the online train→serve pipeline.
+
+Builds a synthetic dataset preset, a (possibly sharded, possibly
+thread-parallel) embedding store and a model, then runs
+:class:`~repro.runtime.pipeline.OnlinePipeline` over the chronological
+day-stream: train continuously, publish a copy-on-write snapshot to the
+serving engine every ``--publish-every`` steps, and fire serve-while-train
+probe requests every ``--probe-every`` steps.  Prints a JSON report with
+training throughput, publish latency, snapshot staleness and probe latency
+percentiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.experiments.common import build_dataset, get_scale
+from repro.models import create_model
+from repro.runtime.executor import EXECUTOR_KINDS, create_executor
+from repro.runtime.pipeline import OnlinePipeline, PipelineConfig
+from repro.store import ShardedEmbeddingStore
+from repro.training.config import TrainingConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.pipeline",
+        description="Online train->serve pipeline over a sharded embedding store",
+    )
+    parser.add_argument("--dataset", default="criteo",
+                        choices=["avazu", "criteo", "kdd12", "criteotb"])
+    parser.add_argument("--model", default="dlrm", choices=["dlrm", "wdl", "dcn"])
+    parser.add_argument("--method", default="cafe",
+                        help="embedding backend for every shard (default: cafe)")
+    parser.add_argument("--num-shards", type=int, default=2,
+                        help="hash-partitioned shards in the store (default: 2)")
+    parser.add_argument("--executor", default="serial", choices=list(EXECUTOR_KINDS),
+                        help="shard fan-out runtime (default: serial)")
+    parser.add_argument("--compression-ratio", type=float, default=10.0)
+    parser.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    parser.add_argument("--publish-every", type=int, default=10,
+                        help="snapshot publish cadence in train steps (default: 10)")
+    parser.add_argument("--probe-every", type=int, default=5,
+                        help="serve-while-train probe cadence in steps; 0 disables (default: 5)")
+    parser.add_argument("--micro-batch", type=int, default=64,
+                        help="serving micro-batch size (default: 64)")
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="stop after this many train steps (default: whole stream)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON report to this path")
+    return parser
+
+
+def run_pipeline_session(args: argparse.Namespace) -> dict:
+    """Build dataset/store/model, run the pipeline, return the JSON report."""
+    spec = get_scale(args.scale)
+    dataset = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    schema = dataset.schema
+    extra = {}
+    if args.method == "mde":
+        extra["field_cardinalities"] = schema.field_cardinalities
+    store = ShardedEmbeddingStore.build(
+        args.method,
+        num_features=schema.num_features,
+        dim=schema.embedding_dim,
+        num_shards=args.num_shards,
+        compression_ratio=args.compression_ratio,
+        seed=args.seed,
+        executor=create_executor(args.executor),
+        **extra,
+    )
+    model = create_model(
+        args.model, store, num_fields=schema.num_fields, num_numerical=schema.num_numerical,
+        rng=args.seed,
+    )
+    pipeline = OnlinePipeline(
+        model,
+        config=PipelineConfig(
+            publish_every_steps=args.publish_every,
+            serving_micro_batch=args.micro_batch,
+            probe_every_steps=args.probe_every,
+            max_steps=args.max_steps,
+        ),
+        trainer_config=TrainingConfig(batch_size=spec.batch_size, seed=args.seed),
+    )
+    probe_batch = dataset.test_batch(num_samples=max(args.micro_batch, 64))
+    report = pipeline.run(dataset.training_stream(spec.batch_size), probe_batch=probe_batch)
+    return {
+        "workload": {
+            "dataset": args.dataset,
+            "model": args.model,
+            "method": args.method,
+            "num_shards": args.num_shards,
+            "executor": args.executor,
+            "compression_ratio": args.compression_ratio,
+            "scale": args.scale,
+            "publish_every": args.publish_every,
+            "probe_every": args.probe_every,
+            "micro_batch": args.micro_batch,
+            "max_steps": args.max_steps,
+            "seed": args.seed,
+        },
+        "store": store.describe(),
+        "pipeline": report.as_dict(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    report = run_pipeline_session(args)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n", encoding="utf-8")
+        print(f"\nwrote {args.output}")
+    return 0

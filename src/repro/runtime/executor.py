@@ -1,0 +1,244 @@
+"""Shard executors: one interface, serial and thread-pool implementations.
+
+A :class:`ShardExecutor` runs a set of per-shard tasks — the fan-out half of
+every :class:`~repro.store.sharded.ShardedEmbeddingStore` operation
+(``lookup``, ``apply_gradients``, ``rebalance``, ``merged_sketch``) — and
+records per-shard timing so the benchmarks can attribute time to individual
+shards.
+
+Two implementations exist behind the interface:
+
+* :class:`SerialShardExecutor` runs the tasks in shard order on the calling
+  thread.  This is the default: it adds zero overhead and keeps every store
+  operation deterministic and single-threaded.
+* :class:`ThreadPoolShardExecutor` runs the tasks concurrently on a thread
+  pool.  Python's GIL means CPU-bound NumPy shard work does not speed up on
+  a single core; the pool's win is *overlapping per-shard stalls* — the
+  realistic deployment story where each shard sits behind an RPC, a disk
+  read, or a GIL-releasing native kernel.  The speedup criterion in
+  ``repro.bench`` is therefore measured over latency-simulated shards (see
+  :class:`~repro.runtime.simulate.LatencySimulatedShard`).
+
+Tasks submitted in one :meth:`ShardExecutor.run` call must touch *disjoint*
+state (the store guarantees this: each task owns one shard object), which is
+what makes the threaded execution safe without any locking in the shards.
+
+>>> executor = SerialShardExecutor()
+>>> executor.run([(0, lambda: "a"), (2, lambda: "b")])
+['a', 'b']
+>>> sorted(executor.stats.per_shard)
+[0, 2]
+>>> executor.stats.per_shard[0].calls
+1
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+#: A unit of fan-out work: ``(shard_index, thunk)``.
+ShardTask = tuple[int, Callable[[], Any]]
+
+
+@dataclass
+class ShardTiming:
+    """Cumulative wall-clock accounting for one shard."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.calls += 1
+        self.total_s += seconds
+        self.max_s = max(self.max_s, seconds)
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "calls": self.calls,
+            "total_ms": round(self.total_s * 1e3, 4),
+            "max_ms": round(self.max_s * 1e3, 4),
+        }
+
+
+@dataclass
+class ExecutorStats:
+    """Per-shard task timings plus whole-fan-out wall time.
+
+    ``parallel_efficiency`` is the ratio of summed per-task seconds to the
+    wall-clock seconds spent inside :meth:`ShardExecutor.run`: ~1.0 for a
+    serial executor, > 1.0 when tasks genuinely overlapped.
+    """
+
+    per_shard: dict[int, ShardTiming] = field(default_factory=dict)
+    fanouts: int = 0
+    fanout_wall_s: float = 0.0
+    task_s: float = 0.0
+
+    def record_task(self, shard_index: int, seconds: float) -> None:
+        self.per_shard.setdefault(int(shard_index), ShardTiming()).record(seconds)
+        self.task_s += seconds
+
+    def record_fanout(self, seconds: float) -> None:
+        self.fanouts += 1
+        self.fanout_wall_s += seconds
+
+    @property
+    def parallel_efficiency(self) -> float:
+        if self.fanout_wall_s <= 0.0:
+            return 0.0
+        return self.task_s / self.fanout_wall_s
+
+    def reset(self) -> None:
+        self.per_shard.clear()
+        self.fanouts = 0
+        self.fanout_wall_s = 0.0
+        self.task_s = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "fanouts": self.fanouts,
+            "fanout_wall_ms": round(self.fanout_wall_s * 1e3, 4),
+            "task_ms": round(self.task_s * 1e3, 4),
+            "parallel_efficiency": round(self.parallel_efficiency, 3),
+            "per_shard": {
+                shard: timing.as_dict() for shard, timing in sorted(self.per_shard.items())
+            },
+        }
+
+
+class ShardExecutor(abc.ABC):
+    """Runs one thunk per shard and returns the results in task order.
+
+    Implementations must preserve the order of ``tasks`` in the returned
+    list, record per-shard timing into :attr:`stats`, and propagate the
+    first exception a task raises.
+    """
+
+    def __init__(self):
+        self.stats = ExecutorStats()
+        self._lock = threading.Lock()
+
+    @abc.abstractmethod
+    def run(self, tasks: Sequence[ShardTask]) -> list[Any]:
+        """Execute every ``(shard_index, thunk)`` task; results in task order."""
+
+    def close(self) -> None:
+        """Release any worker resources (no-op for serial execution)."""
+
+    def _timed(self, shard_index: int, thunk: Callable[[], Any]) -> Any:
+        start = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.stats.record_task(shard_index, elapsed)
+        return result
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialShardExecutor(ShardExecutor):
+    """Run shard tasks one after another on the calling thread (default)."""
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[Any]:
+        start = time.perf_counter()
+        results = [self._timed(shard_index, thunk) for shard_index, thunk in tasks]
+        with self._lock:
+            self.stats.record_fanout(time.perf_counter() - start)
+        return results
+
+    def __deepcopy__(self, memo) -> "SerialShardExecutor":
+        # Executors hold no shard state; a copied store gets a fresh one.
+        return SerialShardExecutor()
+
+
+class ThreadPoolShardExecutor(ShardExecutor):
+    """Run shard tasks concurrently on a shared thread pool.
+
+    ``max_workers=None`` (the default) sizes the pool lazily to the widest
+    fan-out seen, so every shard of a store can stall concurrently.  The
+    pool is created on first use and torn down by :meth:`close` (also called
+    by ``with``-statement exit and the finalizer).
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_width = 0
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+
+    def _ensure_pool(self, width: int) -> ThreadPoolExecutor:
+        target = self.max_workers if self.max_workers is not None else max(width, 1)
+        if self._pool is None or (self.max_workers is None and target > self._pool_width):
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ThreadPoolExecutor(max_workers=target)
+            self._pool_width = target
+        return self._pool
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[Any]:
+        if len(tasks) <= 1:
+            # A single task gains nothing from the pool; skip the handoff.
+            start = time.perf_counter()
+            results = [self._timed(shard_index, thunk) for shard_index, thunk in tasks]
+            with self._lock:
+                self.stats.record_fanout(time.perf_counter() - start)
+            return results
+        pool = self._ensure_pool(len(tasks))
+        start = time.perf_counter()
+        futures = [pool.submit(self._timed, shard_index, thunk) for shard_index, thunk in tasks]
+        results = [future.result() for future in futures]
+        with self._lock:
+            self.stats.record_fanout(time.perf_counter() - start)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_width = 0
+
+    def __del__(self):  # pragma: no cover - finalizer timing is interpreter-dependent
+        self.close()
+
+    def __deepcopy__(self, memo) -> "ThreadPoolShardExecutor":
+        # Never copy a live pool (deep-copied stores get their own workers).
+        return ThreadPoolShardExecutor(max_workers=self.max_workers)
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {"max_workers": self.max_workers}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__init__(max_workers=state["max_workers"])
+
+
+#: Accepted spellings for :func:`create_executor`.
+EXECUTOR_KINDS = ("serial", "thread")
+
+
+def create_executor(kind: str, max_workers: int | None = None) -> ShardExecutor:
+    """Build a :class:`ShardExecutor` from a CLI/config spelling.
+
+    ``kind`` is ``"serial"`` or ``"thread"``; ``max_workers`` only applies to
+    the threaded executor.
+
+    >>> create_executor("serial").run([(0, lambda: 41 + 1)])
+    [42]
+    """
+    lowered = kind.lower()
+    if lowered == "serial":
+        return SerialShardExecutor()
+    if lowered in ("thread", "threads", "threadpool"):
+        return ThreadPoolShardExecutor(max_workers=max_workers)
+    raise ValueError(f"unknown executor kind '{kind}'; expected one of {EXECUTOR_KINDS}")

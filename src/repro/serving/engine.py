@@ -51,7 +51,18 @@ class PendingPrediction:
 
 
 class ServingEngine:
-    """Micro-batching prediction server over embedding-store snapshots."""
+    """Micro-batching prediction server over embedding-store snapshots.
+
+    Consistency model: every request is answered from the engine's current
+    :class:`~repro.store.snapshot.StoreSnapshot` and frozen dense network —
+    training the live store between :meth:`refresh` calls never changes
+    served answers (the copy-on-write contract).  The engine itself is not
+    internally locked: drive one engine from one thread, or synchronize
+    callers externally.  Serving *while* another thread trains is safe
+    because reads go through the immutable snapshot, not the live store;
+    :class:`~repro.runtime.pipeline.OnlinePipeline` builds the train→publish
+    loop on exactly this guarantee.
+    """
 
     def __init__(self, model, max_batch_size: int = 256):
         if max_batch_size <= 0:
@@ -74,11 +85,13 @@ class ServingEngine:
     # Snapshot management
     # ------------------------------------------------------------------ #
     def refresh(self) -> None:
-        """Re-snapshot the store and freeze the dense network.
+        """Re-snapshot the store and freeze the dense network ("publish").
 
-        Serve this after (or periodically during) training to publish the
-        newest parameters.  Requests already queued are flushed first so no
-        request spans two parameter versions.
+        Call after (or periodically during) training to publish the newest
+        parameters.  Requests already queued are flushed first so no request
+        spans two parameter versions.  The snapshot half is O(1)
+        copy-on-write; the dense network is deep-copied (it is small), so
+        publish latency is dominated by that copy, not by table sizes.
         """
         if self._pending_rows:
             self.flush()

@@ -16,7 +16,18 @@ PERCENTILES = (50.0, 95.0, 99.0)
 
 
 class LatencyTracker:
-    """Accumulates per-request latencies and summarizes their distribution."""
+    """Accumulates per-request latencies and summarizes their distribution.
+
+    >>> tracker = LatencyTracker()
+    >>> for seconds in (0.001, 0.002, 0.003):
+    ...     tracker.record(seconds)
+    >>> len(tracker)
+    3
+    >>> tracker.percentile_ms(50.0)
+    2.0
+    >>> tracker.summary()["count"]
+    3
+    """
 
     def __init__(self):
         self._seconds: list[float] = []

@@ -20,6 +20,15 @@ Snapshots are copy-on-write: :meth:`ShardedEmbeddingStore.snapshot` is O(1)
 (it freezes the current shard objects); the first ``apply_gradients`` that
 touches a frozen shard replaces it with a private deep copy, leaving the
 frozen object immutable for every outstanding snapshot.
+
+Per-shard work — ``lookup``, ``apply_gradients``, :meth:`ShardedEmbedding
+Store.rebalance` and :meth:`ShardedEmbeddingStore.merged_sketch` — is fanned
+out through a pluggable :class:`~repro.runtime.executor.ShardExecutor`
+(serial by default; a thread pool overlaps per-shard stalls).  The fan-out
+is safe without shard-level locking because the tasks of one operation touch
+disjoint shard objects, and all store-level bookkeeping (plan cache,
+copy-on-write swaps, step counter) happens on the calling thread before or
+after the fan-out.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.embeddings.base import CompressedEmbedding
+from repro.runtime.executor import SerialShardExecutor, ShardExecutor, create_executor
 from repro.store.base import EmbeddingStore
 from repro.store.snapshot import StoreSnapshot
 from repro.utils.hashing import hash_to_range
@@ -57,7 +67,12 @@ def partition_by_shard(
 class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
     """N hash-partitioned embedding shards behind one store interface."""
 
-    def __init__(self, shards: Sequence[CompressedEmbedding], shard_seed: int = DEFAULT_SHARD_SEED):
+    def __init__(
+        self,
+        shards: Sequence[CompressedEmbedding],
+        shard_seed: int = DEFAULT_SHARD_SEED,
+        executor: ShardExecutor | str | None = None,
+    ):
         shards = list(shards)
         if not shards:
             raise ValueError("ShardedEmbeddingStore requires at least one shard")
@@ -72,6 +87,11 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         self._shards = shards
         self.num_shards = len(shards)
         self.shard_seed = int(shard_seed)
+        if executor is None:
+            executor = SerialShardExecutor()
+        elif isinstance(executor, str):
+            executor = create_executor(executor)
+        self.executor = executor
         # Shards become frozen (shared with a snapshot) when snapshot() runs;
         # the first write afterwards swaps in a private copy.
         self._cow_pending = [False] * self.num_shards
@@ -95,6 +115,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         compression_ratio: float = 1.0,
         shard_seed: int = DEFAULT_SHARD_SEED,
         seed: int = 0,
+        executor: ShardExecutor | str | None = None,
         **kwargs,
     ) -> "ShardedEmbeddingStore":
         """Build ``num_shards`` shards of ``method`` splitting one budget.
@@ -102,7 +123,9 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         Every shard keeps the *global* id space (ids are not re-indexed; the
         shard hash decides ownership) but receives ``1/num_shards`` of the
         total float budget, which is expressed by scaling the per-shard
-        compression ratio.  ``kwargs`` are forwarded to
+        compression ratio.  ``executor`` selects the fan-out runtime
+        (``"serial"``, ``"thread"``, or a :class:`~repro.runtime.executor.
+        ShardExecutor` instance).  Remaining ``kwargs`` are forwarded to
         :func:`repro.embeddings.create_embedding` (e.g. ``optimizer``,
         ``field_cardinalities``).
         """
@@ -121,7 +144,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
             )
             for index in range(num_shards)
         ]
-        return cls(shards, shard_seed=shard_seed)
+        return cls(shards, shard_seed=shard_seed, executor=executor)
 
     @property
     def shards(self) -> tuple[CompressedEmbedding, ...]:
@@ -146,17 +169,46 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
     # ------------------------------------------------------------------ #
     # EmbeddingStore / CompressedEmbedding interface
     # ------------------------------------------------------------------ #
+    def set_executor(self, executor: ShardExecutor | str) -> None:
+        """Swap the fan-out runtime (``"serial"``, ``"thread"``, or instance)."""
+        if isinstance(executor, str):
+            executor = create_executor(executor)
+        self.executor.close()
+        self.executor = executor
+
     def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Gather embeddings from every owning shard; see the base contract.
+
+        The shard partition of the batch is computed (or reused from the
+        plan cache) on the calling thread; per-shard gathers then run
+        through :attr:`executor`.  Each task writes a disjoint row subset of
+        the output array, so threaded execution needs no synchronisation.
+        """
         ids = self._check_ids(ids)
         if self.num_shards == 1:
             return self._shards[0].lookup(ids)
         plan = self.plan_for(ids)
         out = np.empty((len(plan), self.dim), dtype=self.dtype)
-        for shard_index, idx in self._shard_slices(plan):
-            out[idx] = self._shards[shard_index].lookup(plan.flat_ids[idx])
+
+        def gather(shard, idx):
+            out[idx] = shard.lookup(plan.flat_ids[idx])
+
+        self.executor.run(
+            [
+                (shard_index, lambda s=self._shards[shard_index], i=idx: gather(s, i))
+                for shard_index, idx in self._shard_slices(plan)
+            ]
+        )
         return out.reshape(plan.ids_shape + (self.dim,))
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Scatter per-lookup gradients to the owning shards.
+
+        Copy-on-write swaps (:meth:`_ensure_private`) happen serially on the
+        calling thread *before* the fan-out, so outstanding snapshots never
+        observe a write and the executor tasks only ever touch private,
+        mutually disjoint shard objects.
+        """
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         if self.num_shards == 1:
@@ -166,12 +218,45 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
             return
         plan = self.plan_for(ids)
         flat_grads = grads.reshape(len(plan), -1)
+        tasks = []
         for shard_index, idx in self._shard_slices(plan):
             self._ensure_private(shard_index)
-            self._shards[shard_index].apply_gradients(plan.flat_ids[idx], flat_grads[idx])
+            shard = self._shards[shard_index]
+            tasks.append(
+                (
+                    shard_index,
+                    lambda s=shard, i=idx: s.apply_gradients(plan.flat_ids[i], flat_grads[i]),
+                )
+            )
+        self.executor.run(tasks)
         self._step += 1
 
+    def rebalance(self) -> bool:
+        """Fan one explicit adaptivity pass out across all shards.
+
+        Counts as a write: a shard still shared with a snapshot is
+        privatised first — but only if its backend actually overrides
+        :meth:`~repro.embeddings.base.CompressedEmbedding.rebalance`, so the
+        call is free (no copies, no tasks) on static backends.  Returns
+        ``True`` if at least one shard performed a rebalance.
+        """
+        supported = [
+            shard_index
+            for shard_index in range(self.num_shards)
+            if type(self._shards[shard_index]).rebalance is not CompressedEmbedding.rebalance
+        ]
+        if not supported:
+            return False
+        for shard_index in supported:
+            self._ensure_private(shard_index)
+        results = self.executor.run(
+            [(shard_index, self._shards[shard_index].rebalance) for shard_index in supported]
+        )
+        self.invalidate_plan()
+        return any(results)
+
     def memory_floats(self) -> int:
+        """Sum of all shard footprints (each shard holds 1/N of the budget)."""
         return int(sum(shard.memory_floats() for shard in self._shards))
 
     # ------------------------------------------------------------------ #
@@ -212,21 +297,33 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
     def merged_sketch(self):
         """One global HotSketch merged from all sketch-carrying shards.
 
-        Only meaningful when the shards are CAFE-style backends; returns
-        ``None`` when no shard exposes a sketch.
+        Per-shard sketch retrieval fans out through :attr:`executor` (for a
+        remote shard this is the expensive half); the pairwise SpaceSaving
+        merge then runs on the calling thread.  Only meaningful when the
+        shards are CAFE-style backends; returns ``None`` when no shard
+        exposes a sketch.
         """
-        sketches = [shard.sketch for shard in self._shards if hasattr(shard, "sketch")]
-        if not sketches:
+        tasks = [
+            (shard_index, lambda s=shard: s.sketch)
+            for shard_index, shard in enumerate(self._shards)
+            if hasattr(shard, "sketch")
+        ]
+        if not tasks:
             return None
+        sketches = self.executor.run(tasks)
         return type(sketches[0]).merge_all(sketches)
 
     def describe(self) -> dict[str, float | int | str]:
         info = super().describe()
         info["num_shards"] = self.num_shards
         info["backend"] = type(self._shards[0]).__name__
+        info["executor"] = type(self.executor).__name__
         return info
 
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Flatten every shard's state under ``shard{i}.`` prefixes plus the
+        shard-count header; the inverse of :meth:`load_state_dict`.
+        """
         state: dict[str, np.ndarray] = {"num_shards": np.asarray(self.num_shards)}
         for index, shard in enumerate(self._shards):
             if not hasattr(shard, "state_dict"):
@@ -238,6 +335,10 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore all shards from :meth:`state_dict` output (shard counts must
+        match); also absorbs a pre-store single-layer checkpoint into a
+        single-shard store.  Counts as a write for copy-on-write purposes.
+        """
         if "num_shards" not in state:
             # Checkpoint written against a bare embedding layer (pre-store
             # format): only a single-shard store can absorb it.

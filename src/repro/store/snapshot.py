@@ -66,6 +66,9 @@ class StoreSnapshot:
         return out.reshape(ids.shape + (self.dim,))
 
     def memory_floats(self) -> int:
+        """Footprint of the frozen shards (shared with the live store until
+        copy-on-write copies diverge).
+        """
         return int(sum(shard.memory_floats() for shard in self._shards))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
