@@ -11,6 +11,7 @@ from repro.bench.embedding_bench import (
     run_benchmarks,
     write_report,
 )
+from repro.bench.group_bench import bench_table_group
 from repro.bench.runtime_bench import bench_online_pipeline, bench_shard_parallel
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "write_report",
     "bench_shard_parallel",
     "bench_online_pipeline",
+    "bench_table_group",
 ]

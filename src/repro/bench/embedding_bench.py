@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.group_bench import bench_table_group
 from repro.bench.legacy import LegacyCafeEmbedding, LegacyHotSketch
 from repro.bench.runtime_bench import bench_online_pipeline, bench_shard_parallel
 from repro.bench.store_bench import bench_serving_throughput, bench_shard_scaling
@@ -39,8 +40,9 @@ DEFAULT_OUTPUT = "BENCH_embedding.json"
 #: Where the report envelope and per-section schemas are documented.
 BENCH_DOCS = "docs/benchmarks.md"
 
-#: Superseded reports kept in the on-disk history (oldest dropped first).
-MAX_HISTORY = 100
+#: Superseded reports kept in the on-disk history (oldest dropped first);
+#: pruned on every write so the envelope stops growing without bound.
+MAX_HISTORY = 20
 
 
 @dataclass(frozen=True)
@@ -188,6 +190,7 @@ def run_benchmarks(config: BenchConfig) -> dict:
             "serving": bench_serving_throughput(config),
             "shard_parallel": bench_shard_parallel(config),
             "online_pipeline": bench_online_pipeline(config),
+            "table_group": bench_table_group(config),
         },
     }
 

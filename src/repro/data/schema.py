@@ -37,6 +37,89 @@ class FieldSchema:
             raise DataError(f"field '{self.name}' must have positive cardinality")
 
 
+#: Size classes a field can fall into when a table-group spec is resolved.
+FIELD_CLASSES = ("tiny", "mid", "tail", "rest", "all")
+
+#: Cardinality at or below which a field counts as ``tiny`` by default.
+DEFAULT_TINY_MAX = 100
+
+#: Cardinality at or above which a field counts as ``tail`` by default.
+DEFAULT_TAIL_MIN = 2000
+
+
+@dataclass(frozen=True)
+class FieldConfig:
+    """Per-field embedding policy: which table group a field belongs to.
+
+    Fields whose configs compare equal (ignoring ``field``) share one table
+    group — one backend instance, one id space, one memory budget.  That is
+    the unit the :class:`~repro.store.table_group.TableGroupStore` allocates:
+    a tiny enum field can keep a ``full`` uncompressed table while the 10M-id
+    long-tail field next to it runs CAFE at 100x compression.
+
+    Parameters
+    ----------
+    field:
+        Name of the field this config applies to.
+    backend:
+        Embedding method for the group (any :data:`repro.embeddings.
+        METHOD_NAMES` entry, e.g. ``"full"``, ``"cafe"``, ``"hash"``).
+    dim:
+        Native table dimension of the group.  ``None`` means the schema's
+        ``embedding_dim``; a smaller value stores narrow rows and the store
+        projects them up to the fused output dimension (MDE-style).
+    compression_ratio:
+        Memory budget of the group expressed as native-parameters /
+        budget-floats.  Ignored by ``full`` and whenever ``memory_floats``
+        is set.
+    memory_floats:
+        Absolute per-field float budget; the group budget is the sum over
+        its member fields.  Overrides ``compression_ratio``.
+    hash_seed:
+        Per-group hash policy for hash-routing backends; ``None`` keeps the
+        backend default.
+    num_shards:
+        Shards *within* the group (a :class:`~repro.store.sharded.
+        ShardedEmbeddingStore` wraps the group backend when > 1).
+    """
+
+    field: str
+    backend: str = "cafe"
+    dim: int | None = None
+    compression_ratio: float = 1.0
+    memory_floats: int | None = None
+    hash_seed: int | None = None
+    num_shards: int = 1
+
+    def __post_init__(self):
+        if self.dim is not None and self.dim <= 0:
+            raise DataError(f"field '{self.field}': dim must be positive, got {self.dim}")
+        if self.compression_ratio <= 0:
+            raise DataError(
+                f"field '{self.field}': compression_ratio must be positive, "
+                f"got {self.compression_ratio}"
+            )
+        if self.memory_floats is not None and self.memory_floats <= 0:
+            raise DataError(
+                f"field '{self.field}': memory_floats must be positive, got {self.memory_floats}"
+            )
+        if self.num_shards <= 0:
+            raise DataError(
+                f"field '{self.field}': num_shards must be positive, got {self.num_shards}"
+            )
+
+    def group_key(self) -> tuple:
+        """Fields with equal keys share one table group."""
+        return (
+            self.backend.lower(),
+            self.dim,
+            float(self.compression_ratio),
+            self.memory_floats is not None,
+            self.hash_seed,
+            self.num_shards,
+        )
+
+
 @dataclass
 class DatasetSchema:
     """Structure of a CTR dataset."""
@@ -48,6 +131,10 @@ class DatasetSchema:
     num_days: int = 1
     zipf_exponent: float = 1.05
     metadata: dict = field(default_factory=dict)
+    #: Optional per-field embedding policies (one per field, same order as
+    #: ``fields``).  ``None`` means the uniform single-table default; set via
+    #: :meth:`configure_fields` or ``make_preset(..., field_spec=...)``.
+    field_configs: list[FieldConfig] | None = None
 
     def __post_init__(self):
         if not self.fields:
@@ -58,6 +145,37 @@ class DatasetSchema:
             raise DataError("embedding_dim must be positive")
         if self.num_days <= 0:
             raise DataError("num_days must be positive")
+        if self.field_configs is not None:
+            self._check_field_configs(self.field_configs)
+
+    def _check_field_configs(self, configs: list[FieldConfig]) -> None:
+        names = [f.name for f in self.fields]
+        if [c.field for c in configs] != names:
+            raise DataError(
+                "field_configs must cover every field in schema order; "
+                f"expected {names}, got {[c.field for c in configs]}"
+            )
+        for config in configs:
+            if config.dim is not None and config.dim > self.embedding_dim:
+                raise DataError(
+                    f"field '{config.field}': group dim {config.dim} exceeds the "
+                    f"schema embedding_dim {self.embedding_dim}"
+                )
+
+    def configure_fields(self, spec_or_configs, **spec_kwargs) -> "DatasetSchema":
+        """Attach per-field table-group policies; returns ``self``.
+
+        Accepts either a ready list of :class:`FieldConfig` (one per field,
+        schema order) or a spec string handled by
+        :func:`field_configs_from_spec` (``spec_kwargs`` forwarded).
+        """
+        if isinstance(spec_or_configs, str):
+            configs = field_configs_from_spec(self, spec_or_configs, **spec_kwargs)
+        else:
+            configs = list(spec_or_configs)
+        self._check_field_configs(configs)
+        self.field_configs = configs
+        return self
 
     # ------------------------------------------------------------------ #
     # Derived quantities
@@ -99,6 +217,116 @@ class DatasetSchema:
         return np.asarray(global_ids, dtype=np.int64) - self.field_offsets[:-1][None, :]
 
 
+def classify_fields(
+    schema: DatasetSchema,
+    tiny_max: int = DEFAULT_TINY_MAX,
+    tail_min: int = DEFAULT_TAIL_MIN,
+) -> list[str]:
+    """Size class (``"tiny"`` / ``"mid"`` / ``"tail"``) of every field.
+
+    A field is ``tiny`` when its cardinality is at most ``tiny_max`` (cheap
+    to keep uncompressed), ``tail`` when at least ``tail_min`` (the skewed
+    long-tail id spaces CAFE targets), and ``mid`` otherwise.  When
+    ``tail_min`` exceeds every cardinality the thresholds still partition
+    the fields — some classes are simply empty.
+    """
+    if tiny_max >= tail_min:
+        raise DataError(f"tiny_max ({tiny_max}) must be below tail_min ({tail_min})")
+    classes = []
+    for field_schema in schema.fields:
+        if field_schema.cardinality <= tiny_max:
+            classes.append("tiny")
+        elif field_schema.cardinality >= tail_min:
+            classes.append("tail")
+        else:
+            classes.append("mid")
+    return classes
+
+
+def field_configs_from_spec(
+    schema: DatasetSchema,
+    spec: str,
+    compression_ratio: float = 1.0,
+    tiny_max: int = DEFAULT_TINY_MAX,
+    tail_min: int = DEFAULT_TAIL_MIN,
+) -> list[FieldConfig]:
+    """Resolve a table-group spec string into one :class:`FieldConfig` per field.
+
+    The spec is a comma-separated list of ``backend:class`` entries, where
+    ``class`` is one of :data:`FIELD_CLASSES` — ``tiny`` / ``mid`` / ``tail``
+    (size classes from :func:`classify_fields`), ``rest`` (every field not
+    matched by an earlier entry) or ``all``.  A backend may carry options in
+    square brackets: ``cafe[cr=20]:tail`` sets the group compression ratio,
+    ``hash[cr=8,dim=8]:mid`` additionally stores narrow rows projected up to
+    the schema dimension, ``cafe[shards=4]:tail`` shards within the group and
+    ``hash[seed=23]:mid`` pins the group hash seed.  Fields matched by no
+    entry fall to the *last* entry's backend, so ``"full:tiny,cafe:tail"``
+    sends mid fields to CAFE.  ``compression_ratio`` is the default ``cr``
+    for entries that do not set one (``full`` ignores it).
+    """
+    # Split entries on commas, but not the commas inside "[...]" options.
+    raw_entries, depth, start = [], 0, 0
+    for position, char in enumerate(spec):
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif char == "," and depth == 0:
+            raw_entries.append(spec[start:position])
+            start = position + 1
+    raw_entries.append(spec[start:])
+
+    entries = []
+    for raw in raw_entries:
+        raw = raw.strip()
+        if not raw:
+            continue
+        backend_part, sep, class_name = raw.partition(":")
+        class_name = class_name.strip().lower() if sep else "all"
+        backend_part = backend_part.strip()
+        options: dict[str, float] = {}
+        if "[" in backend_part:
+            if not backend_part.endswith("]"):
+                raise DataError(f"malformed spec entry '{raw}': unclosed '['")
+            backend_name, _, option_text = backend_part[:-1].partition("[")
+            for pair in option_text.split(","):
+                key, sep_eq, value = pair.partition("=")
+                if not sep_eq:
+                    raise DataError(f"malformed spec option '{pair}' in entry '{raw}'")
+                options[key.strip().lower()] = float(value)
+            backend_part = backend_name.strip()
+        if class_name not in FIELD_CLASSES:
+            raise DataError(
+                f"unknown field class '{class_name}' in spec entry '{raw}'; "
+                f"expected one of {FIELD_CLASSES}"
+            )
+        unknown = set(options) - {"cr", "dim", "seed", "shards"}
+        if unknown:
+            raise DataError(f"unknown spec options {sorted(unknown)} in entry '{raw}'")
+        entries.append((backend_part.lower(), class_name, options))
+    if not entries:
+        raise DataError(f"table-group spec '{spec}' contains no entries")
+
+    classes = classify_fields(schema, tiny_max=tiny_max, tail_min=tail_min)
+    configs: list[FieldConfig | None] = [None] * schema.num_fields
+    ordered = entries + [(entries[-1][0], "rest", entries[-1][2])]  # implicit fallback
+    for backend, class_name, options in ordered:
+        for index, field_schema in enumerate(schema.fields):
+            if configs[index] is not None:
+                continue
+            if class_name == "all" or class_name == "rest" or classes[index] == class_name:
+                configs[index] = FieldConfig(
+                    field=field_schema.name,
+                    backend=backend,
+                    dim=int(options["dim"]) if "dim" in options else None,
+                    compression_ratio=float(options.get("cr", compression_ratio)),
+                    hash_seed=int(options["seed"]) if "seed" in options else None,
+                    num_shards=int(options.get("shards", 1)),
+                )
+    assert all(config is not None for config in configs)
+    return configs  # type: ignore[return-value]
+
+
 #: Table 2 of the paper, verbatim (samples, features, fields, dim, params).
 PAPER_DATASET_STATS = {
     "avazu": {"samples": 40_428_967, "features": 9_449_445, "fields": 22, "dim": 16, "params": "150M"},
@@ -127,13 +355,17 @@ def make_preset(
     scale: float = 1.0,
     base_cardinality: int = 2000,
     seed: int = 0,
+    field_spec: str | None = None,
 ) -> DatasetSchema:
     """Build a scaled-down synthetic preset mirroring one of the paper datasets.
 
     Field cardinalities are drawn log-uniformly around ``base_cardinality`` so
     that, like the real datasets, a few fields dominate the total feature
     count.  ``scale`` multiplies every cardinality, letting experiments trade
-    fidelity for runtime.
+    fidelity for runtime.  ``field_spec`` optionally attaches per-field
+    table-group policies (see :func:`field_configs_from_spec`); the size
+    thresholds scale with ``base_cardinality`` so ``"full:tiny,cafe:tail"``
+    splits the preset's fields the same way at every scale.
     """
     lowered = name.lower()
     if lowered not in _PRESET_STRUCTURE:
@@ -149,7 +381,7 @@ def make_preset(
     cards = np.maximum(cards, 10)
     cards = np.maximum((cards * scale).astype(int), 4)
     fields = [FieldSchema(name=f"{lowered}_c{i}", cardinality=int(c)) for i, c in enumerate(cards)]
-    return DatasetSchema(
+    schema = DatasetSchema(
         name=lowered,
         fields=fields,
         num_numerical=num_numerical,
@@ -158,3 +390,13 @@ def make_preset(
         zipf_exponent=zipf,
         metadata={"paper_stats": PAPER_DATASET_STATS[lowered], "scale": scale},
     )
+    if field_spec is not None:
+        # Thresholds track the log-uniform cardinality range (base/10..base*10)
+        # so the tiny/mid/tail split is scale-invariant.
+        effective_base = max(base_cardinality * scale, 1.0)
+        schema.configure_fields(
+            field_spec,
+            tiny_max=max(int(effective_base / 3), 1),
+            tail_min=max(int(effective_base * 3), 2),
+        )
+    return schema

@@ -95,6 +95,72 @@ def create_embedding(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def create_embedding_store(
+    schema,
+    spec: str | None = None,
+    compression_ratio: float = 1.0,
+    num_shards: int = 1,
+    executor=None,
+    optimizer: str = "sgd",
+    learning_rate: float = 0.05,
+    dtype: np.dtype | str = DEFAULT_DTYPE,
+    seed: int = 0,
+    **kwargs,
+):
+    """Build an embedding *store* for a dataset schema from a spec string.
+
+    ``spec`` is either a plain method name (``"cafe"`` — one uniform table,
+    sharded ``num_shards`` ways) or a table-group spec with per-field-class
+    backends (``"full:tiny,cafe:tail"`` — see :func:`repro.data.schema.
+    field_configs_from_spec`), which builds a heterogeneous
+    :class:`~repro.store.table_group.TableGroupStore`.  ``spec=None`` uses
+    the schema's attached ``field_configs`` when present, else uniform CAFE.
+    ``num_shards`` applies only to the uniform case; sharding a table-group
+    store happens *within* a group (the ``[shards=N]`` spec option), so
+    combining the two raises.  The store layer is imported lazily to keep
+    ``repro.embeddings`` free of a circular dependency on ``repro.store``.
+    """
+    from repro.store import ShardedEmbeddingStore
+    from repro.store.table_group import TableGroupStore
+
+    grouped = (spec is not None and ":" in spec) or (
+        spec is None and getattr(schema, "field_configs", None) is not None
+    )
+    if grouped:
+        if num_shards > 1:
+            raise ValueError(
+                "num_shards does not apply to a table-group store; shard within a "
+                "group via the [shards=N] spec option or FieldConfig.num_shards"
+            )
+        return TableGroupStore.from_schema(
+            schema,
+            spec=spec,
+            compression_ratio=compression_ratio,
+            optimizer=optimizer,
+            learning_rate=learning_rate,
+            dtype=dtype,
+            seed=seed,
+            executor=executor,
+            **kwargs,
+        )
+    method = spec or "cafe"
+    if method == "mde":
+        kwargs.setdefault("field_cardinalities", schema.field_cardinalities)
+    return ShardedEmbeddingStore.build(
+        method,
+        num_features=schema.num_features,
+        dim=schema.embedding_dim,
+        num_shards=num_shards,
+        compression_ratio=compression_ratio,
+        seed=seed,
+        executor=executor,
+        optimizer=optimizer,
+        learning_rate=learning_rate,
+        dtype=dtype,
+        **kwargs,
+    )
+
+
 __all__ = [
     "CompressedEmbedding",
     "TableBackedEmbedding",
@@ -112,4 +178,5 @@ __all__ = [
     "max_compression_ratio_adaembed",
     "METHOD_NAMES",
     "create_embedding",
+    "create_embedding_store",
 ]

@@ -48,3 +48,16 @@ class FullEmbedding(TableBackedEmbedding):
     def memory_floats(self) -> int:
         """The full ``num_features x dim`` table."""
         return int(self.table.size)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"table": self.table.copy(), "step": np.asarray(self._step)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        table = np.asarray(state["table"], dtype=self.dtype)
+        if table.shape != self.table.shape:
+            raise ValueError(
+                f"checkpoint table shape {table.shape} does not match {self.table.shape}"
+            )
+        self.table = table.copy()
+        self._step = int(state["step"])
+        self.invalidate_plan()

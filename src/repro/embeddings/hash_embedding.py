@@ -92,3 +92,25 @@ class HashEmbedding(TableBackedEmbedding):
     def memory_floats(self) -> int:
         """One ``num_rows x dim`` table; no auxiliary structures."""
         return int(self.table.size)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {
+            "table": self.table.copy(),
+            "hash_seed": np.asarray(self.hash_seed),
+            "step": np.asarray(self._step),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        table = np.asarray(state["table"], dtype=self.dtype)
+        if table.shape != self.table.shape:
+            raise ValueError(
+                f"checkpoint table shape {table.shape} does not match {self.table.shape}"
+            )
+        if int(state["hash_seed"]) != self.hash_seed:
+            raise ValueError(
+                f"checkpoint hash_seed {int(state['hash_seed'])} does not match "
+                f"{self.hash_seed}; rows would route differently"
+            )
+        self.table = table.copy()
+        self._step = int(state["step"])
+        self.invalidate_plan()

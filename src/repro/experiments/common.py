@@ -175,20 +175,40 @@ def run_single(
     embedding_kwargs: dict | None = None,
 ) -> RunOutcome:
     """Train one configuration end to end; infeasible budgets are reported,
-    not raised, because the paper's figures simply omit those points."""
+    not raised, because the paper's figures simply omit those points.
+
+    ``method`` may also be a per-field table-group spec (it contains a
+    ``:``, e.g. ``"full:tiny,cafe:tail"``): the run then trains over a
+    heterogeneous :class:`~repro.store.table_group.TableGroupStore` instead
+    of one uniform layer, opening the mixed-policy scenario axis.
+    """
     spec = get_scale(scale)
     config = TrainingConfig(batch_size=spec.batch_size, seed=seed)
     try:
-        embedding = build_embedding(
-            method,
-            dataset,
-            compression_ratio,
-            seed=seed,
-            optimizer=config.sparse_optimizer,
-            learning_rate=config.sparse_learning_rate,
-            dtype=config.embedding_dtype,
-            **(embedding_kwargs or {}),
-        )
+        if ":" in method:
+            from repro.embeddings import create_embedding_store
+
+            embedding = create_embedding_store(
+                dataset.schema,
+                spec=method,
+                compression_ratio=compression_ratio,
+                seed=seed,
+                optimizer=config.sparse_optimizer,
+                learning_rate=config.sparse_learning_rate,
+                dtype=config.embedding_dtype,
+                **(embedding_kwargs or {}),
+            )
+        else:
+            embedding = build_embedding(
+                method,
+                dataset,
+                compression_ratio,
+                seed=seed,
+                optimizer=config.sparse_optimizer,
+                learning_rate=config.sparse_learning_rate,
+                dtype=config.embedding_dtype,
+                **(embedding_kwargs or {}),
+            )
     except MemoryBudgetError as exc:
         logger.info("%s infeasible at CR %.0fx: %s", method, compression_ratio, exc)
         return RunOutcome(

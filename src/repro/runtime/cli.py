@@ -16,11 +16,11 @@ import argparse
 import json
 from pathlib import Path
 
+from repro.embeddings import create_embedding_store
 from repro.experiments.common import build_dataset, get_scale
 from repro.models import create_model
 from repro.runtime.executor import EXECUTOR_KINDS, create_executor
 from repro.runtime.pipeline import OnlinePipeline, PipelineConfig
-from repro.store import ShardedEmbeddingStore
 from repro.training.config import TrainingConfig
 
 
@@ -34,6 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--model", default="dlrm", choices=["dlrm", "wdl", "dcn"])
     parser.add_argument("--method", default="cafe",
                         help="embedding backend for every shard (default: cafe)")
+    parser.add_argument("--field-spec", default=None,
+                        help="per-field table-group spec, e.g. 'full:tiny,cafe:tail' "
+                             "(overrides --method/--num-shards with a TableGroupStore)")
     parser.add_argument("--num-shards", type=int, default=2,
                         help="hash-partitioned shards in the store (default: 2)")
     parser.add_argument("--executor", default="serial", choices=list(EXECUTOR_KINDS),
@@ -59,18 +62,17 @@ def run_pipeline_session(args: argparse.Namespace) -> dict:
     spec = get_scale(args.scale)
     dataset = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
     schema = dataset.schema
-    extra = {}
-    if args.method == "mde":
-        extra["field_cardinalities"] = schema.field_cardinalities
-    store = ShardedEmbeddingStore.build(
-        args.method,
-        num_features=schema.num_features,
-        dim=schema.embedding_dim,
-        num_shards=args.num_shards,
+    # One dispatch for both store kinds: a table-group spec builds a
+    # heterogeneous TableGroupStore (the pipeline publishes group-wise
+    # copy-on-write snapshots exactly like uniform ones), a plain method
+    # name builds the uniform sharded store.
+    store = create_embedding_store(
+        schema,
+        spec=args.field_spec if args.field_spec is not None else args.method,
         compression_ratio=args.compression_ratio,
-        seed=args.seed,
+        num_shards=1 if args.field_spec is not None else args.num_shards,
         executor=create_executor(args.executor),
-        **extra,
+        seed=args.seed,
     )
     model = create_model(
         args.model, store, num_fields=schema.num_fields, num_numerical=schema.num_numerical,
@@ -93,6 +95,7 @@ def run_pipeline_session(args: argparse.Namespace) -> dict:
             "dataset": args.dataset,
             "model": args.model,
             "method": args.method,
+            "field_spec": args.field_spec,
             "num_shards": args.num_shards,
             "executor": args.executor,
             "compression_ratio": args.compression_ratio,

@@ -65,21 +65,91 @@ class TestCheckpoint:
         )
 
     def test_roundtrip_without_sparse_state(self, tmp_path):
-        """Embeddings without a state_dict (e.g. plain Hash) still checkpoint
-        the dense network and do not confuse the loader."""
+        """Embeddings without a state_dict (e.g. Q-R; hash/full grew one for
+        table groups) still checkpoint the dense network and do not confuse
+        the loader."""
+        from repro.embeddings.qr_embedding import QRTrickEmbedding
+
         dataset = tiny_dataset()
-        embedding = HashEmbedding(dataset.schema.num_features, DIM, num_rows=32, rng=0)
-        model = build_model(dataset, embedding=embedding)
-        path = save_checkpoint(tmp_path / "hash.npz", model)
-        restored = build_model(
-            dataset, embedding=HashEmbedding(dataset.schema.num_features, DIM, num_rows=32, rng=0), seed=9
-        )
+
+        def qr():
+            return QRTrickEmbedding(
+                dataset.schema.num_features, DIM, num_remainder_rows=32, rng=0
+            )
+
+        model = build_model(dataset, embedding=qr())
+        path = save_checkpoint(tmp_path / "qr.npz", model)
+        restored = build_model(dataset, embedding=qr(), seed=9)
         load_checkpoint(path, restored)
         test = dataset.test_batch(200)
         assert np.allclose(
             model.predict_proba(test.categorical, test.numerical),
             restored.predict_proba(test.categorical, test.numerical),
         )
+
+    def test_roundtrip_with_hash_sparse_state(self, tmp_path):
+        """Hash tables now checkpoint: differently seeded restore targets
+        come back bit-identical instead of merely same-shaped."""
+        dataset = tiny_dataset()
+        model = build_model(
+            dataset, embedding=HashEmbedding(dataset.schema.num_features, DIM, num_rows=32, rng=0)
+        )
+        trainer = Trainer(model, TrainingConfig(batch_size=64))
+        for batch in dataset.day_batches(0, 64):
+            trainer.train_step(batch)
+        path = save_checkpoint(tmp_path / "hash.npz", model)
+        restored = build_model(
+            dataset,
+            embedding=HashEmbedding(dataset.schema.num_features, DIM, num_rows=32, rng=5),
+            seed=9,
+        )
+        load_checkpoint(path, restored)
+        assert np.array_equal(model.embedding.table, restored.embedding.table)
+
+    def test_roundtrip_sharded_store_with_thread_executor(self, tmp_path):
+        """Satellite of the table-group PR: the full .npz checkpoint path
+        over a thread-pool-executor sharded store restores bit-exact tables
+        at the configured dtype."""
+        from repro.store import ShardedEmbeddingStore
+
+        dataset = tiny_dataset()
+
+        def sharded_model(seed):
+            store = ShardedEmbeddingStore.build(
+                "cafe",
+                num_features=dataset.schema.num_features,
+                dim=DIM,
+                num_shards=3,
+                compression_ratio=10.0,
+                seed=seed,
+                dtype="float32",
+                executor="thread",
+            )
+            return build_model(dataset, embedding=store, seed=seed)
+
+        model = sharded_model(0)
+        trainer = Trainer(model, TrainingConfig(batch_size=64))
+        try:
+            for batch in dataset.day_batches(0, 64):
+                trainer.train_step(batch)
+            path = save_checkpoint(tmp_path / "sharded.npz", model, step=trainer.global_step)
+
+            restored = sharded_model(42)
+            try:
+                assert load_checkpoint(path, restored) == trainer.global_step
+                for shard_a, shard_b in zip(model.store.shards, restored.store.shards):
+                    assert np.array_equal(shard_a.hot_table, shard_b.hot_table)
+                    assert np.array_equal(shard_a.shared_table, shard_b.shared_table)
+                    assert shard_b.hot_table.dtype == np.dtype("float32")
+                test = dataset.test_batch(300)
+                assert np.array_equal(
+                    model.predict_proba(test.categorical, test.numerical),
+                    restored.predict_proba(test.categorical, test.numerical),
+                )
+            finally:
+                restored.store.executor.close()
+        finally:
+            model.store.executor.close()
 
     def test_mismatched_model_rejected(self, tmp_path):
         dataset = tiny_dataset()

@@ -271,11 +271,52 @@ class TestStoreCheckpointing:
             other.load_state_dict(store.state_dict())
 
     def test_stateless_backend_raises_not_implemented(self):
+        # Q-R has no state_dict (hash and full grew one for table groups).
         store = ShardedEmbeddingStore.build(
-            "hash", num_features=500, dim=DIM, num_shards=2, compression_ratio=5.0, seed=0
+            "qr", num_features=500, dim=DIM, num_shards=2, compression_ratio=5.0, seed=0
         )
         with pytest.raises(NotImplementedError):
             store.state_dict()
+
+    @pytest.mark.parametrize("method", ["cafe", "hash"])
+    def test_round_trip_with_thread_pool_executor_active(self, method):
+        """Satellite of the table-group PR: saving and restoring while the
+        thread-pool executor fans shard work out must stay bit-exact and
+        keep the configured table dtype."""
+        n = 2000
+        def build(seed):
+            return ShardedEmbeddingStore.build(
+                method, num_features=n, dim=DIM, num_shards=4,
+                compression_ratio=10.0, seed=seed, dtype="float32",
+                executor="thread",
+            )
+
+        store = build(0)
+        ids = np.random.default_rng(0).integers(0, n, size=(16, 8))
+        try:
+            for _ in range(5):
+                store.lookup(ids)
+                store.apply_gradients(ids, np.ones((16, 8, DIM), dtype=np.float32))
+            state = store.state_dict()
+
+            restored = build(99)
+            try:
+                restored.load_state_dict(state)
+                # Bit-exact tables, shard by shard, and preserved dtype.
+                for shard_a, shard_b in zip(store.shards, restored.shards):
+                    for key, value in shard_a.state_dict().items():
+                        assert np.array_equal(value, shard_b.state_dict()[key]), key
+                    for table_attr in ("table", "hot_table", "shared_table"):
+                        if hasattr(shard_a, table_attr):
+                            assert getattr(shard_b, table_attr).dtype == np.dtype("float32")
+                probe = np.random.default_rng(1).integers(0, n, size=200)
+                assert np.array_equal(store.lookup(probe), restored.lookup(probe))
+                # The restored store keeps training through its own pool.
+                restored.apply_gradients(probe, np.ones((200, DIM), dtype=np.float32))
+            finally:
+                restored.executor.close()
+        finally:
+            store.executor.close()
 
     def test_legacy_unprefixed_state_loads_into_single_shard_store(self):
         """Checkpoints written before the store refactor carry the bare
