@@ -2,6 +2,9 @@
 
 The package provides:
 
+* ``repro.api`` — the declarative front door: ``SystemConfig`` →
+  ``Session``, the backend capability registry, and the consolidated
+  ``python -m repro`` CLI;
 * ``repro.nn`` — a NumPy autograd / neural-network substrate;
 * ``repro.sketch`` — HotSketch and reference sketches;
 * ``repro.embeddings`` — CAFE, CAFE-ML and all baseline compressed embeddings;

@@ -1,21 +1,26 @@
-"""Command-line interface for running the paper's experiments.
+"""The paper-experiment runner (now the ``experiment`` subcommand).
 
-Usage (after ``pip install -e .``)::
+Usage::
 
-    python -m repro list
-    python -m repro run fig8 --scale tiny --seed 0
-    python -m repro run table2 --output results/table2.txt
-    python -m repro sweep --dataset criteo --methods hash cafe --ratios 10 100
+    python -m repro experiment list
+    python -m repro experiment run fig8 --scale tiny --seed 0
+    python -m repro experiment sweep --dataset criteo --methods hash cafe --ratios 10 100
 
 ``run`` executes one registered table/figure experiment and prints the same
 rows the paper reports; ``sweep`` is a free-form method × compression-ratio
 grid for quick exploration.
+
+Calling this module's :func:`main` directly is the *deprecated* pre-PR-5
+entry point (``python -m repro`` used to land here); it still works but
+emits a :class:`DeprecationWarning` — the consolidated CLI in
+:mod:`repro.api.cli` is the front door now.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 
 from repro.experiments import (
@@ -88,9 +93,26 @@ def _emit(result_text: str, output: Path | None) -> None:
         print(f"\nwritten to {output}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def run_legacy_cli(argv: list[str] | None = None) -> int:
+    """Parse and run experiment-runner arguments (no deprecation warning).
 
+    This is what ``python -m repro experiment ...`` forwards to.
+    """
+    return _run(build_parser().parse_args(argv))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Deprecated direct entry point; use ``python -m repro experiment``."""
+    warnings.warn(
+        "repro.cli.main is deprecated; use `python -m repro experiment ...` "
+        "(the consolidated CLI in repro.api.cli)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_legacy_cli(argv)
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.command == "list":
         rows = [
             {"id": spec.experiment_id, "paper": spec.paper_reference, "title": spec.title}

@@ -22,6 +22,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+# Canonical spec-string grammar (classes, thresholds, parser) lives in
+# repro.api.spec; these re-exports keep the historical import paths working.
+from repro.api.spec import (  # noqa: F401  (re-exported)
+    DEFAULT_TAIL_MIN,
+    DEFAULT_TINY_MAX,
+    FIELD_CLASSES,
+)
+from repro.api.spec import field_configs_from_spec as _field_configs_from_spec
 from repro.errors import DataError
 
 
@@ -35,16 +43,6 @@ class FieldSchema:
     def __post_init__(self):
         if self.cardinality <= 0:
             raise DataError(f"field '{self.name}' must have positive cardinality")
-
-
-#: Size classes a field can fall into when a table-group spec is resolved.
-FIELD_CLASSES = ("tiny", "mid", "tail", "rest", "all")
-
-#: Cardinality at or below which a field counts as ``tiny`` by default.
-DEFAULT_TINY_MAX = 100
-
-#: Cardinality at or above which a field counts as ``tail`` by default.
-DEFAULT_TAIL_MIN = 2000
 
 
 @dataclass(frozen=True)
@@ -252,79 +250,20 @@ def field_configs_from_spec(
 ) -> list[FieldConfig]:
     """Resolve a table-group spec string into one :class:`FieldConfig` per field.
 
-    The spec is a comma-separated list of ``backend:class`` entries, where
-    ``class`` is one of :data:`FIELD_CLASSES` — ``tiny`` / ``mid`` / ``tail``
-    (size classes from :func:`classify_fields`), ``rest`` (every field not
-    matched by an earlier entry) or ``all``.  A backend may carry options in
-    square brackets: ``cafe[cr=20]:tail`` sets the group compression ratio,
-    ``hash[cr=8,dim=8]:mid`` additionally stores narrow rows projected up to
-    the schema dimension, ``cafe[shards=4]:tail`` shards within the group and
-    ``hash[seed=23]:mid`` pins the group hash seed.  Fields matched by no
-    entry fall to the *last* entry's backend, so ``"full:tiny,cafe:tail"``
-    sends mid fields to CAFE.  ``compression_ratio`` is the default ``cr``
-    for entries that do not set one (``full`` ignores it).
+    The spec grammar (``backend[options]:class`` entries; see
+    :mod:`repro.api.spec` for the full reference) is parsed by the single
+    shared parser — this wrapper exists so schema-level callers keep their
+    historical import path.  ``compression_ratio`` is the default ``cr`` for
+    entries that do not set one (``full`` ignores it); ``tiny_max`` /
+    ``tail_min`` are the :func:`classify_fields` thresholds.
     """
-    # Split entries on commas, but not the commas inside "[...]" options.
-    raw_entries, depth, start = [], 0, 0
-    for position, char in enumerate(spec):
-        if char == "[":
-            depth += 1
-        elif char == "]":
-            depth -= 1
-        elif char == "," and depth == 0:
-            raw_entries.append(spec[start:position])
-            start = position + 1
-    raw_entries.append(spec[start:])
-
-    entries = []
-    for raw in raw_entries:
-        raw = raw.strip()
-        if not raw:
-            continue
-        backend_part, sep, class_name = raw.partition(":")
-        class_name = class_name.strip().lower() if sep else "all"
-        backend_part = backend_part.strip()
-        options: dict[str, float] = {}
-        if "[" in backend_part:
-            if not backend_part.endswith("]"):
-                raise DataError(f"malformed spec entry '{raw}': unclosed '['")
-            backend_name, _, option_text = backend_part[:-1].partition("[")
-            for pair in option_text.split(","):
-                key, sep_eq, value = pair.partition("=")
-                if not sep_eq:
-                    raise DataError(f"malformed spec option '{pair}' in entry '{raw}'")
-                options[key.strip().lower()] = float(value)
-            backend_part = backend_name.strip()
-        if class_name not in FIELD_CLASSES:
-            raise DataError(
-                f"unknown field class '{class_name}' in spec entry '{raw}'; "
-                f"expected one of {FIELD_CLASSES}"
-            )
-        unknown = set(options) - {"cr", "dim", "seed", "shards"}
-        if unknown:
-            raise DataError(f"unknown spec options {sorted(unknown)} in entry '{raw}'")
-        entries.append((backend_part.lower(), class_name, options))
-    if not entries:
-        raise DataError(f"table-group spec '{spec}' contains no entries")
-
-    classes = classify_fields(schema, tiny_max=tiny_max, tail_min=tail_min)
-    configs: list[FieldConfig | None] = [None] * schema.num_fields
-    ordered = entries + [(entries[-1][0], "rest", entries[-1][2])]  # implicit fallback
-    for backend, class_name, options in ordered:
-        for index, field_schema in enumerate(schema.fields):
-            if configs[index] is not None:
-                continue
-            if class_name == "all" or class_name == "rest" or classes[index] == class_name:
-                configs[index] = FieldConfig(
-                    field=field_schema.name,
-                    backend=backend,
-                    dim=int(options["dim"]) if "dim" in options else None,
-                    compression_ratio=float(options.get("cr", compression_ratio)),
-                    hash_seed=int(options["seed"]) if "seed" in options else None,
-                    num_shards=int(options.get("shards", 1)),
-                )
-    assert all(config is not None for config in configs)
-    return configs  # type: ignore[return-value]
+    return _field_configs_from_spec(
+        schema,
+        spec,
+        compression_ratio=compression_ratio,
+        tiny_max=tiny_max,
+        tail_min=tail_min,
+    )
 
 
 #: Table 2 of the paper, verbatim (samples, features, fields, dim, params).

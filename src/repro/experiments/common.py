@@ -185,7 +185,14 @@ def run_single(
     spec = get_scale(scale)
     config = TrainingConfig(batch_size=spec.batch_size, seed=seed)
     try:
-        if ":" in method:
+        # One parser decides: grouped specs and option-carrying uniform
+        # specs ("cafe[cr=8,shards=2]") go through the store factory; a bare
+        # method name keeps the historical direct-embedding construction
+        # (bit-exact with every recorded figure).
+        from repro.api.spec import parse_spec
+
+        parsed = parse_spec(method)
+        if parsed.grouped or parsed.entries[0].options:
             from repro.embeddings import create_embedding_store
 
             embedding = create_embedding_store(

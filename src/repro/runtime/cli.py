@@ -1,33 +1,29 @@
-"""``python -m repro.pipeline`` — run the online train→serve pipeline.
+"""``python -m repro.pipeline`` — deprecated shim over the consolidated CLI.
 
-Builds a synthetic dataset preset, a (possibly sharded, possibly
-thread-parallel) embedding store and a model, then runs
-:class:`~repro.runtime.pipeline.OnlinePipeline` over the chronological
-day-stream: train continuously, publish a copy-on-write snapshot to the
-serving engine every ``--publish-every`` steps, and fire serve-while-train
-probe requests every ``--probe-every`` steps.  Prints a JSON report with
-training throughput, publish latency, snapshot staleness and probe latency
-percentiles.
+The online train→serve pipeline now lives behind the declarative front door:
+``python -m repro pipeline --config c.json`` (see :mod:`repro.api.cli`).
+This module keeps the historical flag-based interface working by mapping its
+arguments onto a :class:`~repro.api.config.SystemConfig` and running the
+same :class:`~repro.api.session.Session` the new CLI runs — so both paths
+produce identical reports — while :func:`main` emits a single
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import warnings
 from pathlib import Path
 
-from repro.embeddings import create_embedding_store
-from repro.experiments.common import build_dataset, get_scale
-from repro.models import create_model
-from repro.runtime.executor import EXECUTOR_KINDS, create_executor
-from repro.runtime.pipeline import OnlinePipeline, PipelineConfig
-from repro.training.config import TrainingConfig
+from repro.runtime.executor import EXECUTOR_KINDS
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.pipeline",
-        description="Online train->serve pipeline over a sharded embedding store",
+        description="[deprecated: use `python -m repro pipeline --config ...`] "
+                    "Online train->serve pipeline over a sharded embedding store",
     )
     parser.add_argument("--dataset", default="criteo",
                         choices=["avazu", "criteo", "kdd12", "criteotb"])
@@ -57,39 +53,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def config_from_args(args: argparse.Namespace):
+    """Map the legacy flag surface onto a :class:`SystemConfig`."""
+    from repro.api.config import SystemConfig
+
+    return SystemConfig.from_dict(
+        {
+            "seed": args.seed,
+            "data": {"dataset": args.dataset, "scale": args.scale},
+            "store": {
+                "spec": args.field_spec if args.field_spec is not None else args.method,
+                "compression_ratio": args.compression_ratio,
+                "num_shards": 1 if args.field_spec is not None else args.num_shards,
+                "executor": args.executor,
+            },
+            "model": {"name": args.model},
+            "pipeline": {
+                "publish_every_steps": args.publish_every,
+                "probe_every_steps": args.probe_every,
+                "micro_batch": args.micro_batch,
+                "max_steps": args.max_steps,
+            },
+        }
+    )
+
+
 def run_pipeline_session(args: argparse.Namespace) -> dict:
-    """Build dataset/store/model, run the pipeline, return the JSON report."""
-    spec = get_scale(args.scale)
-    dataset = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    schema = dataset.schema
-    # One dispatch for both store kinds: a table-group spec builds a
-    # heterogeneous TableGroupStore (the pipeline publishes group-wise
-    # copy-on-write snapshots exactly like uniform ones), a plain method
-    # name builds the uniform sharded store.
-    store = create_embedding_store(
-        schema,
-        spec=args.field_spec if args.field_spec is not None else args.method,
-        compression_ratio=args.compression_ratio,
-        num_shards=1 if args.field_spec is not None else args.num_shards,
-        executor=create_executor(args.executor),
-        seed=args.seed,
-    )
-    model = create_model(
-        args.model, store, num_fields=schema.num_fields, num_numerical=schema.num_numerical,
-        rng=args.seed,
-    )
-    pipeline = OnlinePipeline(
-        model,
-        config=PipelineConfig(
-            publish_every_steps=args.publish_every,
-            serving_micro_batch=args.micro_batch,
-            probe_every_steps=args.probe_every,
-            max_steps=args.max_steps,
-        ),
-        trainer_config=TrainingConfig(batch_size=spec.batch_size, seed=args.seed),
-    )
-    probe_batch = dataset.test_batch(num_samples=max(args.micro_batch, 64))
-    report = pipeline.run(dataset.training_stream(spec.batch_size), probe_batch=probe_batch)
+    """Build dataset/store/model via the Session, run the pipeline, return
+    the legacy-shaped JSON report."""
+    from repro.api.session import build
+
+    session = build(config_from_args(args))
+    report = session.run_pipeline()
     return {
         "workload": {
             "dataset": args.dataset,
@@ -106,12 +101,18 @@ def run_pipeline_session(args: argparse.Namespace) -> dict:
             "max_steps": args.max_steps,
             "seed": args.seed,
         },
-        "store": store.describe(),
-        "pipeline": report.as_dict(),
+        "store": report["store"],
+        "pipeline": report["pipeline"],
     }
 
 
 def main(argv: list[str] | None = None) -> int:
+    warnings.warn(
+        "`python -m repro.pipeline` is deprecated; use "
+        "`python -m repro pipeline --config path.json` (repro.api.cli)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     args = build_parser().parse_args(argv)
     report = run_pipeline_session(args)
     text = json.dumps(report, indent=2)

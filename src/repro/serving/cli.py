@@ -1,30 +1,26 @@
-"""``python -m repro.serve`` — replay a request stream through the engine.
+"""``python -m repro.serve`` — deprecated shim over the consolidated CLI.
 
-Builds a synthetic dataset preset, trains a model briefly so the embedding
-store holds non-trivial state, snapshots it, and replays a single-example
-request stream through the micro-batching engine.  Prints a JSON report with
-throughput and p50/p95/p99 latency — the zero-to-serving demonstration of
-the store + snapshot + engine stack.
+The serving replay now lives behind the declarative front door:
+``python -m repro serve --config c.json`` (see :mod:`repro.api.cli`).  This
+module keeps the historical flag surface working by mapping its arguments
+onto a :class:`~repro.api.config.SystemConfig` and running the same
+:class:`~repro.api.session.Session` the new CLI runs, while :func:`main`
+emits a single :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import warnings
 from pathlib import Path
-
-from repro.experiments.common import build_dataset, get_scale
-from repro.models import create_model
-from repro.serving.engine import ServingEngine
-from repro.store import ShardedEmbeddingStore
-from repro.training.config import TrainingConfig
-from repro.training.trainer import Trainer
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.serve",
-        description="Serve model predictions from an embedding-store snapshot",
+        description="[deprecated: use `python -m repro serve --config ...`] "
+                    "Serve model predictions from an embedding-store snapshot",
     )
     parser.add_argument("--dataset", default="criteo",
                         choices=["avazu", "criteo", "kdd12", "criteotb"])
@@ -47,42 +43,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def config_from_args(args: argparse.Namespace):
+    """Map the legacy flag surface onto a :class:`SystemConfig`."""
+    from repro.api.config import SystemConfig
+
+    return SystemConfig.from_dict(
+        {
+            "seed": args.seed,
+            "data": {"dataset": args.dataset, "scale": args.scale},
+            "store": {
+                "spec": args.method,
+                "compression_ratio": args.compression_ratio,
+                "num_shards": args.num_shards,
+            },
+            "model": {"name": args.model},
+            "serve": {
+                "micro_batch": args.micro_batch,
+                "requests": args.requests,
+                "warmup_steps": args.train_batches,
+            },
+        }
+    )
+
+
 def run_serving_session(args: argparse.Namespace) -> dict:
-    """Train briefly, snapshot, replay the request stream; returns the report."""
-    spec = get_scale(args.scale)
-    dataset = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    schema = dataset.schema
-    extra = {}
-    if args.method == "mde":
-        extra["field_cardinalities"] = schema.field_cardinalities
-    store = ShardedEmbeddingStore.build(
-        args.method,
-        num_features=schema.num_features,
-        dim=schema.embedding_dim,
-        num_shards=args.num_shards,
-        compression_ratio=args.compression_ratio,
-        seed=args.seed,
-        **extra,
-    )
-    model = create_model(
-        args.model, store, num_fields=schema.num_fields, num_numerical=schema.num_numerical,
-        rng=args.seed,
-    )
-    trainer = Trainer(model, TrainingConfig(batch_size=spec.batch_size, seed=args.seed))
-    trainer.train_stream(dataset.training_stream(spec.batch_size), max_steps=args.train_batches)
+    """Train briefly, snapshot, replay the request stream; returns the
+    legacy-shaped report."""
+    from repro.api.session import build
 
-    engine = ServingEngine(model, max_batch_size=args.micro_batch)
-    replay = dataset.test_batch(num_samples=args.requests)
-    import time
-
-    start = time.perf_counter()
-    for row in range(len(replay)):
-        numerical = replay.numerical[row] if schema.num_numerical else None
-        engine.submit(replay.categorical[row], numerical)
-    engine.flush()
-    elapsed = time.perf_counter() - start
-
-    stats = engine.stats()
+    session = build(config_from_args(args))
+    report = session.serve()
     return {
         "workload": {
             "dataset": args.dataset,
@@ -92,16 +82,22 @@ def run_serving_session(args: argparse.Namespace) -> dict:
             "compression_ratio": args.compression_ratio,
             "scale": args.scale,
             "train_batches": args.train_batches,
-            "requests": len(replay),
+            "requests": args.requests,
             "micro_batch": args.micro_batch,
             "seed": args.seed,
         },
-        "store": store.describe(),
-        "serving": stats | {"requests_per_s": round(len(replay) / elapsed, 1)},
+        "store": report["store"],
+        "serving": report["serving"],
     }
 
 
 def main(argv: list[str] | None = None) -> int:
+    warnings.warn(
+        "`python -m repro.serve` is deprecated; use "
+        "`python -m repro serve --config path.json` (repro.api.cli)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     args = build_parser().parse_args(argv)
     report = run_serving_session(args)
     text = json.dumps(report, indent=2)

@@ -38,6 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api import registry as capability_registry
 from repro.embeddings.base import CompressedEmbedding
 from repro.runtime.executor import SerialShardExecutor, ShardExecutor, create_executor
 from repro.store.base import EmbeddingStore
@@ -235,15 +236,15 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         """Fan one explicit adaptivity pass out across all shards.
 
         Counts as a write: a shard still shared with a snapshot is
-        privatised first — but only if its backend actually overrides
-        :meth:`~repro.embeddings.base.CompressedEmbedding.rebalance`, so the
-        call is free (no copies, no tasks) on static backends.  Returns
+        privatised first — but only if its backend declares the
+        ``supports_rebalance`` capability (:mod:`repro.api.registry`), so
+        the call is free (no copies, no tasks) on static backends.  Returns
         ``True`` if at least one shard performed a rebalance.
         """
         supported = [
             shard_index
             for shard_index in range(self.num_shards)
-            if type(self._shards[shard_index]).rebalance is not CompressedEmbedding.rebalance
+            if capability_registry.supports_rebalance(self._shards[shard_index])
         ]
         if not supported:
             return False
@@ -326,7 +327,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         """
         state: dict[str, np.ndarray] = {"num_shards": np.asarray(self.num_shards)}
         for index, shard in enumerate(self._shards):
-            if not hasattr(shard, "state_dict"):
+            if not capability_registry.supports_state_dict(shard):
                 raise NotImplementedError(
                     f"shard backend {type(shard).__name__} does not support state_dict"
                 )
@@ -366,6 +367,6 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         # Restoring is a write: never mutate a shard a snapshot still serves.
         self._ensure_private(index)
         shard = self._shards[index]
-        if not hasattr(shard, "load_state_dict"):
+        if not capability_registry.supports_load_state_dict(shard):
             raise ValueError(f"shard backend {type(shard).__name__} cannot load a state dict")
         shard.load_state_dict(state)

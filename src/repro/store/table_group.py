@@ -46,6 +46,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api import registry as capability_registry
 from repro.data.schema import DatasetSchema, FieldConfig, field_configs_from_spec
 from repro.embeddings.base import DEFAULT_DTYPE, CompressedEmbedding
 from repro.nn.init import xavier_uniform
@@ -104,13 +105,23 @@ class TableGroup:
         return int(total)
 
     def describe(self) -> dict:
+        """Per-group summary row.
+
+        Reports the same core keys as every backend/store ``describe()``
+        (``dtype``, ``memory_floats``, ``compression_ratio``, …) so
+        aggregators like :meth:`repro.api.session.Session.describe` can rely
+        on one schema across heterogeneous groups.
+        """
+        native_params = self.backend.num_features * self.dim
         info = {
             "name": self.name,
             "backend": type(self.backend).__name__,
             "num_fields": self.num_fields,
             "num_features": self.backend.num_features,
             "dim": self.dim,
+            "dtype": str(self.backend.dtype),
             "memory_floats": self.memory_floats(),
+            "compression_ratio": round(native_params / max(self.memory_floats(), 1), 2),
         }
         if hasattr(self.backend, "num_shards"):
             info["num_shards"] = self.backend.num_shards
@@ -330,10 +341,19 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
                 group_ratio = (group_features * group_dim) / max(target, 1)
             else:
                 group_ratio = prototype.compression_ratio
+            registered = capability_registry.get_backend(prototype.backend)
             extra: dict = {}
             if prototype.hash_seed is not None:
+                if "seed" not in registered.spec_options:
+                    raise ValueError(
+                        f"backend '{prototype.backend}' does not route by hash and "
+                        "takes no [seed=N] spec option (group "
+                        f"'{prototype.field}')"
+                    )
                 extra["hash_seed"] = prototype.hash_seed
-            if prototype.backend.lower() == "mde":
+            # Any backend declaring the side input in the registry gets the
+            # group's member cardinalities (MDE built-in or third-party).
+            if "field_cardinalities" in registered.requires:
                 extra["field_cardinalities"] = member_cards
             rng = np.random.default_rng(seed + 104729 * group_index)
             if prototype.num_shards > 1:
@@ -499,7 +519,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         supported = [
             index
             for index, group in enumerate(self._groups)
-            if type(group.backend).rebalance is not CompressedEmbedding.rebalance
+            if capability_registry.supports_rebalance(group.backend)
         ]
         if not supported:
             return False
@@ -601,7 +621,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
             "step": np.asarray(self._step),
         }
         for index, group in enumerate(self._groups):
-            if not hasattr(group.backend, "state_dict"):
+            if not capability_registry.supports_state_dict(group.backend):
                 raise NotImplementedError(
                     f"group '{group.name}' backend {type(group.backend).__name__} does "
                     "not support state_dict"
@@ -690,7 +710,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
 
     def _load_backend(self, index: int, state: dict[str, np.ndarray]) -> None:
         backend = self._groups[index].backend
-        if not hasattr(backend, "load_state_dict"):
+        if not capability_registry.supports_load_state_dict(backend):
             raise ValueError(
                 f"group backend {type(backend).__name__} cannot load a state dict"
             )

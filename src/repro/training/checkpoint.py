@@ -14,6 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api import registry as capability_registry
 from repro.embeddings.base import CompressedEmbedding
 from repro.models.base import RecommendationModel
 
@@ -64,7 +65,7 @@ def _sparse_state_dict(target) -> dict[str, np.ndarray] | None:
     function of training); those checkpoints simply omit the sparse section,
     exactly like a bare stateless layer.
     """
-    if not hasattr(target, "state_dict"):
+    if not capability_registry.supports_state_dict(target):
         return None
     try:
         return target.state_dict()
@@ -91,7 +92,7 @@ def load_checkpoint(path: str | Path, model: RecommendationModel) -> int:
     model.load_state_dict(dense)
     if has_sparse:
         target: CompressedEmbedding = _sparse_target(model)
-        if not hasattr(target, "load_state_dict"):
+        if not capability_registry.supports_load_state_dict(target):
             raise ValueError(
                 "checkpoint contains embedding state but the model's embedding store "
                 f"({type(target).__name__}) cannot load one"

@@ -1,0 +1,94 @@
+"""The three pre-PR-5 entry points keep working behind DeprecationWarnings.
+
+Each shim must (a) emit exactly one DeprecationWarning from ``main``,
+(b) still produce its historical report shape, and (c) route through the
+same Session the consolidated CLI uses (pinned by the parity tests in
+``test_api_session.py``; here we smoke the full ``main`` paths).
+"""
+
+import json
+
+import pytest
+
+
+class TestExperimentCliShim:
+    def test_main_warns_and_still_runs(self, capsys):
+        from repro.cli import main
+
+        with pytest.warns(DeprecationWarning, match="repro experiment"):
+            assert main(["list"]) == 0
+        assert "fig8" in capsys.readouterr().out
+
+    def test_run_legacy_cli_does_not_warn(self, capsys, recwarn):
+        import warnings
+
+        from repro.cli import run_legacy_cli
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert run_legacy_cli(["list"]) == 0
+
+
+class TestPipelineCliShim:
+    def test_main_warns_and_keeps_report_shape(self, tmp_path):
+        from repro.pipeline import main
+
+        out = tmp_path / "report.json"
+        with pytest.warns(DeprecationWarning, match="repro pipeline"):
+            code = main([
+                "--scale", "tiny", "--max-steps", "4", "--publish-every", "2",
+                "--probe-every", "0", "--num-shards", "2", "--output", str(out),
+            ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert set(report) == {"workload", "store", "pipeline"}
+        assert report["workload"]["num_shards"] == 2
+        assert report["pipeline"]["steps"] == 4
+        assert report["store"]["num_shards"] == 2
+
+    def test_field_spec_still_builds_table_groups(self, tmp_path):
+        from repro.pipeline import main
+
+        out = tmp_path / "groups.json"
+        with pytest.warns(DeprecationWarning):
+            assert main([
+                "--field-spec", "full:tiny,cafe:tail,hash:mid",
+                "--max-steps", "4", "--publish-every", "2", "--probe-every", "0",
+                "--output", str(out),
+            ]) == 0
+        report = json.loads(out.read_text())
+        assert report["store"]["num_groups"] >= 2
+        assert report["workload"]["field_spec"] == "full:tiny,cafe:tail,hash:mid"
+
+
+class TestServeCliShim:
+    def test_main_warns_and_keeps_report_shape(self, tmp_path):
+        from repro.serve import main
+
+        out = tmp_path / "serving.json"
+        with pytest.warns(DeprecationWarning, match="repro serve"):
+            code = main([
+                "--requests", "16", "--train-batches", "1", "--num-shards", "2",
+                "--micro-batch", "8", "--output", str(out),
+            ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert set(report) == {"workload", "store", "serving"}
+        assert report["serving"]["requests_served"] == 16
+        assert report["store"]["num_shards"] == 2
+
+
+class TestDirectConstructionKeepsWorking:
+    def test_make_preset_and_store_factory_unchanged(self):
+        """'Old-style' direct construction stays a supported library path."""
+        from repro.data.schema import make_preset
+        from repro.embeddings import create_embedding_store
+        from repro.models import create_model
+
+        schema = make_preset("criteo", base_cardinality=300,
+                             field_spec="full:tiny,cafe:tail")
+        store = create_embedding_store(schema, spec=None, seed=0)
+        model = create_model("dlrm", store, num_fields=schema.num_fields,
+                             num_numerical=schema.num_numerical, rng=0)
+        assert model.store is store
+        assert store.num_groups >= 2
