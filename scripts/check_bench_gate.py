@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Assert the shard-scaling acceptance gate recorded in BENCH_embedding.json.
+
+The gate (written by ``repro.bench.store_bench.bench_shard_scaling``) records
+the process-executor speedup of the hash backend at 4 shards vs 1 shard,
+next to the ``cpu_count`` of the recording host.  The threshold (>= 2.0x) is
+only physically reachable when the recorder had at least as many cores as
+shards, so this check is conditional by design:
+
+* full run recorded on >= 4 cores  ->  ``measured >= threshold`` or exit 1;
+* full run recorded on fewer cores ->  require the gate to be present,
+  honest (``cpu_constrained: true``) and measured, then pass with a notice;
+* no full (non-smoke) run recorded ->  exit 1.
+
+Usage::
+
+    python scripts/check_bench_gate.py [BENCH_embedding.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_KEYS = (
+    "metric",
+    "threshold",
+    "measured",
+    "cpu_count",
+    "cpu_constrained",
+    "passed",
+    "num_shards",
+)
+
+
+def full_run(envelope: dict) -> dict | None:
+    """The most recent non-smoke report in the envelope, or None."""
+    runs = [envelope.get("latest")] + list(reversed(envelope.get("history", [])))
+    for run in runs:
+        if isinstance(run, dict) and not run.get("workload", {}).get("smoke", True):
+            return run
+    return None
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_embedding.json")
+    if not path.exists():
+        print(f"FAIL: {path} does not exist")
+        return 1
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    run = full_run(envelope)
+    if run is None:
+        print(f"FAIL: {path} records no full (non-smoke) benchmark run")
+        return 1
+
+    gate = run.get("results", {}).get("shard_scaling", {}).get("gate")
+    if not isinstance(gate, dict):
+        print("FAIL: the full run's shard_scaling section has no gate object")
+        return 1
+    missing = [key for key in REQUIRED_KEYS if key not in gate]
+    if missing:
+        print(f"FAIL: gate object is missing keys {missing}")
+        return 1
+    if gate["measured"] is None:
+        print("FAIL: the full run did not measure the gate configuration "
+              f"({gate['num_shards']} shards, processes)")
+        return 1
+
+    label = f"{gate['metric']}: measured {gate['measured']} vs threshold {gate['threshold']}"
+    if gate["cpu_count"] >= gate["num_shards"]:
+        if gate["measured"] >= gate["threshold"]:
+            print(f"PASS: {label} (cpu_count={gate['cpu_count']})")
+            return 0
+        print(f"FAIL: {label} (cpu_count={gate['cpu_count']} — no excuse)")
+        return 1
+    if not gate["cpu_constrained"]:
+        print(f"FAIL: cpu_count={gate['cpu_count']} < {gate['num_shards']} shards "
+              "but the gate does not admit cpu_constrained")
+        return 1
+    print(f"SKIP threshold: {label} — recorded on cpu_count={gate['cpu_count']} "
+          f"(< {gate['num_shards']} shards), threshold physically unreachable; "
+          "gate recorded honestly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -37,7 +37,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--set", dest="overrides", action="append", default=[],
                         metavar="SECTION.KEY=VALUE",
                         help="dotted config override, repeatable "
-                             "(e.g. --set store.num_shards=4)")
+                             "(e.g. --set store.num_shards=4, "
+                             "--set store.executor=serial|threads|processes, "
+                             "--set store.executor_workers=4)")
     parser.add_argument("--output", type=Path, default=None,
                         help="also write the JSON report to this path")
 

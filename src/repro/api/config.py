@@ -187,6 +187,7 @@ class StoreConfig:
     compression_ratio: float = 10.0
     num_shards: int = 1
     executor: str = "serial"
+    executor_workers: int | None = None
     optimizer: str = "sgd"
     learning_rate: float = 0.05
     dtype: str = "float32"
@@ -196,7 +197,7 @@ class StoreConfig:
         import numpy as np
 
         from repro.api import registry, spec as spec_module
-        from repro.runtime.executor import EXECUTOR_KINDS
+        from repro.runtime.executor import EXECUTOR_KINDS, canonical_executor_kind
 
         if self.compression_ratio <= 0:
             raise ConfigurationError(
@@ -210,10 +211,16 @@ class StoreConfig:
             raise ConfigurationError(
                 f"store.learning_rate must be positive, got {self.learning_rate}"
             )
-        if self.executor not in EXECUTOR_KINDS:
+        try:
+            self.executor = canonical_executor_kind(self.executor)
+        except ValueError:
             raise ConfigurationError(
                 f"store.executor '{self.executor}' is not a known executor; expected "
                 f"one of {sorted(EXECUTOR_KINDS)}"
+            ) from None
+        if self.executor_workers is not None and self.executor_workers <= 0:
+            raise ConfigurationError(
+                f"store.executor_workers must be positive, got {self.executor_workers}"
             )
         try:
             if np.dtype(self.dtype).kind != "f":

@@ -54,12 +54,18 @@ class BackendCapabilities:
     ``trainable_projection``
         The backend trains per-field up-projections internally (the MDE
         idiom); informational for planners that add their own projections.
+    ``supports_process_parallel``
+        The backend can be adopted into a pinned worker process by the
+        :class:`~repro.runtime.process.ProcessShardExecutor` (picklable,
+        no process-hostile resources).  Defaults to ``True``; backends
+        holding sockets, file handles or other fork-hostile state opt out.
     """
 
     supports_rebalance: bool = False
     supports_state_dict: bool = False
     supports_snapshot: bool = True
     trainable_projection: bool = False
+    supports_process_parallel: bool = True
 
     def as_dict(self) -> dict[str, bool]:
         return {
@@ -67,6 +73,7 @@ class BackendCapabilities:
             "supports_state_dict": self.supports_state_dict,
             "supports_snapshot": self.supports_snapshot,
             "trainable_projection": self.trainable_projection,
+            "supports_process_parallel": self.supports_process_parallel,
         }
 
 
@@ -201,6 +208,7 @@ def capabilities_of(backend: str | Any) -> BackendCapabilities:
         supports_snapshot=callable(getattr(backend, "snapshot", None))
         or _declared(backend, "supports_snapshot", True),
         trainable_projection=_declared(backend, "trainable_projection", False),
+        supports_process_parallel=supports_process_parallel(backend),
     )
 
 
@@ -255,6 +263,18 @@ def supports_load_state_dict(obj: Any) -> bool:
     if caps is not None:
         return caps.supports_state_dict
     return callable(getattr(obj, "load_state_dict", None))
+
+
+def supports_process_parallel(obj: Any) -> bool:
+    """Whether ``obj`` may be adopted into a shard worker process.
+
+    Declared capability for registered backend classes; everything else
+    defaults to ``True`` (the ordinary NumPy-backed layers all ship fine).
+    """
+    caps = _declared_capabilities(obj)
+    if caps is not None:
+        return caps.supports_process_parallel
+    return True
 
 
 def registry_summary() -> list[dict[str, Any]]:

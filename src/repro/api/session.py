@@ -108,7 +108,9 @@ class Session:
             spec=config.store.spec,
             compression_ratio=config.store.compression_ratio,
             num_shards=config.store.num_shards,
-            executor=create_executor(config.store.executor),
+            executor=create_executor(
+                config.store.executor, max_workers=config.store.executor_workers
+            ),
             optimizer=config.store.optimizer,
             learning_rate=config.store.learning_rate,
             dtype=config.store.dtype,
@@ -265,7 +267,7 @@ class Session:
         }
 
     def close(self) -> None:
-        """Shut down the store's executor (thread pools)."""
+        """Shut down the store's executor (thread pools, shard workers)."""
         executor = getattr(self.store, "executor", None)
         if executor is not None:
             executor.close()

@@ -18,6 +18,8 @@ Run it with::
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from dataclasses import dataclass
 from datetime import datetime, timezone
@@ -177,11 +179,21 @@ def bench_hotsketch_insert(config: BenchConfig) -> dict:
     }
 
 
+def bench_environment() -> dict:
+    """The host facts a reader needs to judge parallel-scaling numbers."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
 def run_benchmarks(config: BenchConfig) -> dict:
     """Run every micro-benchmark; returns the JSON-ready report."""
     return {
         "schema_version": 2,
         "workload": config.as_dict(),
+        "env": bench_environment(),
         "results": {
             "cafe_train_step": bench_cafe_train_step(config),
             "hash_train_step": bench_hash_train_step(config),

@@ -18,9 +18,11 @@ Two sections feed ``BENCH_embedding.json`` (schema in ``docs/benchmarks.md``):
     below) 1.0 — reported honestly as the cost of thread handoff.
 
 * ``online_pipeline`` — the train→serve loop of
-  :class:`~repro.runtime.pipeline.OnlinePipeline`: training throughput,
-  snapshot publish latency, the maximum snapshot staleness observed against
-  the configured cadence, and serve-while-train probe latency.
+  :class:`~repro.runtime.pipeline.OnlinePipeline` under each executor
+  (serial, threads, processes): training throughput, snapshot publish
+  latency (for the process executor that is the sealed-generation seal),
+  the maximum snapshot staleness observed against the configured cadence,
+  and serve-while-train probe latency.
 """
 
 from __future__ import annotations
@@ -138,7 +140,7 @@ def bench_online_pipeline(
     )
 
     rows = []
-    for kind in ("serial", "thread"):
+    for kind in ("serial", "threads", "processes"):
         store = ShardedEmbeddingStore.build(
             "cafe",
             num_features=schema.num_features,

@@ -4,10 +4,15 @@ Two sections feed ``BENCH_embedding.json``:
 
 * ``shard_scaling`` — embedding train-step throughput of a
   :class:`~repro.store.sharded.ShardedEmbeddingStore` at increasing shard
-  counts, per backend.  In-process sharding buys no parallelism (the shards
-  run sequentially on one core), so the interesting quantity is the
-  *overhead* of partitioning: how close an N-shard store stays to the
-  single-shard baseline that PR 1 optimized.
+  counts, per backend **and per executor** (``serial`` / ``threads`` /
+  ``processes``).  The serial rows measure partitioning overhead; the
+  threaded rows are honestly GIL-bound (CPU work serializes, so expect
+  ≈ 1.0 or below); the process rows are where real scaling can appear —
+  each shard lives in a pinned worker with shared-memory tables, so on a
+  machine with enough cores the N-shard store approaches N× one shard.
+  The section's ``gate`` object records the acceptance metric (process
+  executor, hash backend, 4 shards vs 1) alongside the host ``cpu_count``
+  so a reader can tell a real regression from a core-starved runner.
 * ``serving`` — request throughput and p50/p95/p99 latency of the
   micro-batching engine over a copy-on-write store snapshot, at several
   micro-batch sizes.
@@ -15,11 +20,13 @@ Two sections feed ``BENCH_embedding.json``:
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
 from repro.models.dlrm import DLRM
+from repro.runtime.executor import create_executor
 from repro.serving.engine import ServingEngine
 from repro.store import ShardedEmbeddingStore
 from repro.utils.zipf import ZipfDistribution
@@ -28,45 +35,103 @@ from repro.utils.zipf import ZipfDistribution
 SERVING_FIELDS = 4
 
 
+#: Executors the scaling benchmark sweeps; each gets its own 1-shard baseline.
+SCALING_EXECUTORS = ("serial", "threads", "processes")
+
+#: The acceptance gate: process-executor speedup at this shard count vs 1.
+GATE_SHARDS = 4
+GATE_THRESHOLD = 2.0
+
+
+def _shard_scaling_gate(
+    measured: dict[tuple[str, str, int], float],
+    methods: tuple[str, ...],
+) -> dict:
+    """The ``gate`` object recorded next to the shard-scaling rows.
+
+    ``measured`` maps ``(method, executor, num_shards) -> seconds/step``.
+    The gate compares the process executor at :data:`GATE_SHARDS` shards
+    against its own 1-shard baseline, per method; ``cpu_constrained`` flags
+    hosts that physically cannot reach the threshold (fewer cores than
+    shards), which is how CI distinguishes "regression" from "small runner".
+    """
+    cpu_count = os.cpu_count() or 1
+    per_method = {}
+    for method in methods:
+        base = measured.get((method, "processes", 1))
+        scaled = measured.get((method, "processes", GATE_SHARDS))
+        if base is None or scaled is None:
+            continue
+        per_method[method] = {"speedup_vs_one_shard": round(base / scaled, 3)}
+    hash_entry = per_method.get("hash")
+    measured_speedup = hash_entry["speedup_vs_one_shard"] if hash_entry else None
+    return {
+        "metric": f"hash shards={GATE_SHARDS} processes speedup vs 1 shard",
+        "executor": "processes",
+        "num_shards": GATE_SHARDS,
+        "threshold": GATE_THRESHOLD,
+        "measured": measured_speedup,
+        "cpu_count": cpu_count,
+        "cpu_constrained": cpu_count < GATE_SHARDS,
+        "passed": measured_speedup is not None and measured_speedup >= GATE_THRESHOLD,
+        "per_method": per_method,
+    }
+
+
 def bench_shard_scaling(
     config,
     shard_counts: tuple[int, ...] = (1, 2, 4, 8),
     methods: tuple[str, ...] = ("hash", "cafe"),
+    executors: tuple[str, ...] = SCALING_EXECUTORS,
 ) -> dict:
-    """Train-step throughput of the sharded store per backend and shard count."""
+    """Train-step throughput per backend, executor and shard count."""
     from repro.bench.embedding_bench import make_workload, _time_train_steps
 
     if config.smoke:
         shard_counts = tuple(s for s in shard_counts if s <= 2)
     ids, grads = make_workload(config)
     rows = []
+    measured: dict[tuple[str, str, int], float] = {}
     for method in methods:
-        baseline_seconds = None
-        for num_shards in shard_counts:
-            store = ShardedEmbeddingStore.build(
-                method,
-                num_features=config.num_features,
-                dim=config.dim,
-                num_shards=num_shards,
-                compression_ratio=config.compression_ratio,
-                seed=config.seed,
-                dtype=config.dtype,
-            )
-            seconds = _time_train_steps(store, ids, grads, config.warmup_steps)
-            if baseline_seconds is None:
-                baseline_seconds = seconds
-            rows.append(
-                {
-                    "method": method,
-                    "num_shards": num_shards,
-                    "steps_per_s": round(1.0 / seconds, 2),
-                    "rows_per_s": round(config.batch_size / seconds, 1),
-                    # < 1 means the partition pass costs throughput vs 1 shard.
-                    "relative_throughput": round(baseline_seconds / seconds, 3),
-                    "plan_reuse_rate": store.plan_stats.reuse_rate,
-                }
-            )
-    return {"shard_counts": list(shard_counts), "rows": rows}
+        for executor_kind in executors:
+            baseline_seconds = None
+            for num_shards in shard_counts:
+                store = ShardedEmbeddingStore.build(
+                    method,
+                    num_features=config.num_features,
+                    dim=config.dim,
+                    num_shards=num_shards,
+                    compression_ratio=config.compression_ratio,
+                    seed=config.seed,
+                    dtype=config.dtype,
+                    executor=create_executor(executor_kind),
+                )
+                try:
+                    seconds = _time_train_steps(store, ids, grads, config.warmup_steps)
+                finally:
+                    store.executor.close()
+                if baseline_seconds is None:
+                    baseline_seconds = seconds
+                measured[(method, executor_kind, num_shards)] = seconds
+                rows.append(
+                    {
+                        "method": method,
+                        "executor": executor_kind,
+                        "num_shards": num_shards,
+                        "steps_per_s": round(1.0 / seconds, 2),
+                        "rows_per_s": round(config.batch_size / seconds, 1),
+                        # vs the same executor's 1-shard run; < 1 means the
+                        # partition pass (or the fan-out) costs throughput.
+                        "relative_throughput": round(baseline_seconds / seconds, 3),
+                        "plan_reuse_rate": store.plan_stats.reuse_rate,
+                    }
+                )
+    return {
+        "shard_counts": list(shard_counts),
+        "executors": list(executors),
+        "rows": rows,
+        "gate": _shard_scaling_gate(measured, methods),
+    }
 
 
 def bench_serving_throughput(

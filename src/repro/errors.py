@@ -21,3 +21,12 @@ class MemoryBudgetError(ConfigurationError):
 
 class DataError(ReproError):
     """Raised for malformed or inconsistent dataset inputs."""
+
+
+class ShardWorkerCrashed(ReproError):
+    """Raised when a shard worker process dies instead of answering a request.
+
+    The process executor detects the death (closed pipe or reaped process)
+    and converts it into this error so callers see which worker and which
+    operation failed rather than hanging on a read from a dead pipe.
+    """

@@ -128,6 +128,24 @@ class RowOptimizer:
     def reset_rows(self, rows: np.ndarray) -> None:
         """Clear any per-row state (used when an embedding row is recycled)."""
 
+    def shared_buffers(self, table: np.ndarray) -> dict[str, np.ndarray]:
+        """Per-row state arrays eligible to live in shared memory.
+
+        Called by the process shard runtime so optimizer state rides in the
+        same shared segment as the table.  Stateless optimizers return ``{}``;
+        stateful ones must materialize their state for ``table`` first so the
+        returned arrays are the live ones.
+        """
+        return {}
+
+    def adopt_shared_buffers(self, buffers: dict[str, np.ndarray]) -> None:
+        """Re-point per-row state at externally managed arrays (same keys as
+        :meth:`shared_buffers`)."""
+        if buffers:  # pragma: no cover - defensive: stateless base has no state
+            raise NotImplementedError(
+                f"{type(self).__name__} has no shared buffers to adopt: {sorted(buffers)}"
+            )
+
     @staticmethod
     def _deduplicate(rows: np.ndarray, grads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         unique_rows, inverse = np.unique(rows, return_inverse=True)
@@ -173,6 +191,14 @@ class RowAdagrad(RowOptimizer):
     def reset_rows(self, rows: np.ndarray) -> None:
         if self._accumulator is not None:
             self._accumulator[np.asarray(rows, dtype=np.int64)] = 0.0
+
+    def shared_buffers(self, table: np.ndarray) -> dict[str, np.ndarray]:
+        self._ensure_state(table)
+        assert self._accumulator is not None
+        return {"accumulator": self._accumulator}
+
+    def adopt_shared_buffers(self, buffers: dict[str, np.ndarray]) -> None:
+        self._accumulator = buffers["accumulator"]
 
 
 def make_row_optimizer(name: str, lr: float) -> RowOptimizer:

@@ -7,6 +7,9 @@ a continuously running system:
   serial and thread-pool implementations, used by
   :class:`~repro.store.sharded.ShardedEmbeddingStore` to fan per-shard work
   out concurrently;
+* :mod:`repro.runtime.process` — :class:`ProcessShardExecutor`, which moves
+  each shard into a pinned worker process with its tables in shared memory
+  (:mod:`repro.runtime.shm`) for real CPU parallelism;
 * :mod:`repro.runtime.simulate` — :class:`LatencySimulatedShard`, an
   embedding wrapper that charges a per-operation stall so remote-shard
   deployments can be benchmarked in-process;
@@ -24,6 +27,7 @@ from repro.runtime.executor import (
     SerialShardExecutor,
     ShardExecutor,
     ThreadPoolShardExecutor,
+    canonical_executor_kind,
     create_executor,
 )
 from repro.runtime.simulate import LatencySimulatedShard
@@ -32,8 +36,11 @@ __all__ = [
     "ShardExecutor",
     "SerialShardExecutor",
     "ThreadPoolShardExecutor",
+    "ProcessShardExecutor",
+    "ShardHandle",
     "ExecutorStats",
     "create_executor",
+    "canonical_executor_kind",
     "EXECUTOR_KINDS",
     "LatencySimulatedShard",
     "OnlinePipeline",
@@ -42,6 +49,7 @@ __all__ = [
 ]
 
 _PIPELINE_NAMES = ("OnlinePipeline", "PipelineConfig", "PipelineReport")
+_PROCESS_NAMES = ("ProcessShardExecutor", "ShardHandle")
 
 
 def __getattr__(name):
@@ -49,4 +57,8 @@ def __getattr__(name):
         from repro.runtime import pipeline
 
         return getattr(pipeline, name)
+    if name in _PROCESS_NAMES:
+        from repro.runtime import process
+
+        return getattr(process, name)
     raise AttributeError(f"module 'repro.runtime' has no attribute '{name}'")

@@ -47,23 +47,44 @@ ShardTask = tuple[int, Callable[[], Any]]
 
 @dataclass
 class ShardTiming:
-    """Cumulative wall-clock accounting for one shard."""
+    """Cumulative wall-clock accounting for one shard.
+
+    ``worker_s`` is populated only by executors that can separate on-worker
+    compute from round-trip time (the process executor); for those the IPC
+    overhead per shard is ``total_s - worker_s``.
+    """
 
     calls: int = 0
     total_s: float = 0.0
     max_s: float = 0.0
+    worker_s: float = 0.0
+    worker_calls: int = 0
 
-    def record(self, seconds: float) -> None:
+    def record(self, seconds: float, worker_s: float | None = None) -> None:
         self.calls += 1
         self.total_s += seconds
         self.max_s = max(self.max_s, seconds)
+        if worker_s is not None:
+            self.worker_s += worker_s
+            self.worker_calls += 1
+
+    @property
+    def ipc_s(self) -> float:
+        """Round-trip overhead: wall time minus on-worker compute."""
+        if self.worker_calls == 0:
+            return 0.0
+        return max(self.total_s - self.worker_s, 0.0)
 
     def as_dict(self) -> dict[str, float | int]:
-        return {
+        out: dict[str, float | int] = {
             "calls": self.calls,
             "total_ms": round(self.total_s * 1e3, 4),
             "max_ms": round(self.max_s * 1e3, 4),
         }
+        if self.worker_calls:
+            out["worker_ms"] = round(self.worker_s * 1e3, 4)
+            out["ipc_ms"] = round(self.ipc_s * 1e3, 4)
+        return out
 
 
 @dataclass
@@ -79,10 +100,16 @@ class ExecutorStats:
     fanouts: int = 0
     fanout_wall_s: float = 0.0
     task_s: float = 0.0
+    worker_s: float = 0.0
 
-    def record_task(self, shard_index: int, seconds: float) -> None:
-        self.per_shard.setdefault(int(shard_index), ShardTiming()).record(seconds)
+    def record_task(
+        self, shard_index: int, seconds: float, worker_s: float | None = None
+    ) -> None:
+        timing = self.per_shard.setdefault(int(shard_index), ShardTiming())
+        timing.record(seconds, worker_s=worker_s)
         self.task_s += seconds
+        if worker_s is not None:
+            self.worker_s += worker_s
 
     def record_fanout(self, seconds: float) -> None:
         self.fanouts += 1
@@ -99,9 +126,10 @@ class ExecutorStats:
         self.fanouts = 0
         self.fanout_wall_s = 0.0
         self.task_s = 0.0
+        self.worker_s = 0.0
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "fanouts": self.fanouts,
             "fanout_wall_ms": round(self.fanout_wall_s * 1e3, 4),
             "task_ms": round(self.task_s * 1e3, 4),
@@ -110,6 +138,10 @@ class ExecutorStats:
                 shard: timing.as_dict() for shard, timing in sorted(self.per_shard.items())
             },
         }
+        if self.worker_s > 0.0:
+            out["worker_ms"] = round(self.worker_s * 1e3, 4)
+            out["ipc_overhead_ms"] = round(max(self.task_s - self.worker_s, 0.0) * 1e3, 4)
+        return out
 
 
 class ShardExecutor(abc.ABC):
@@ -159,6 +191,14 @@ class SerialShardExecutor(ShardExecutor):
     def __deepcopy__(self, memo) -> "SerialShardExecutor":
         # Executors hold no shard state; a copied store gets a fresh one.
         return SerialShardExecutor()
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Stats (and the lock) are runtime state; a store pickled into a
+        # shard worker starts with a fresh serial executor.
+        return {}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__init__()
 
 
 class ThreadPoolShardExecutor(ShardExecutor):
@@ -223,22 +263,47 @@ class ThreadPoolShardExecutor(ShardExecutor):
         self.__init__(max_workers=state["max_workers"])
 
 
-#: Accepted spellings for :func:`create_executor`.
-EXECUTOR_KINDS = ("serial", "thread")
+#: Canonical executor kinds accepted by :func:`create_executor`.
+EXECUTOR_KINDS = ("serial", "threads", "processes")
+
+#: Accepted aliases → canonical kind (legacy spellings keep working).
+_KIND_ALIASES = {
+    "serial": "serial",
+    "thread": "threads",
+    "threads": "threads",
+    "threadpool": "threads",
+    "process": "processes",
+    "processes": "processes",
+}
+
+
+def canonical_executor_kind(kind: str) -> str:
+    """Normalize an executor spelling (``thread`` → ``threads``, …).
+
+    >>> canonical_executor_kind("threadpool")
+    'threads'
+    """
+    canonical = _KIND_ALIASES.get(kind.lower())
+    if canonical is None:
+        raise ValueError(f"unknown executor kind '{kind}'; expected one of {EXECUTOR_KINDS}")
+    return canonical
 
 
 def create_executor(kind: str, max_workers: int | None = None) -> ShardExecutor:
     """Build a :class:`ShardExecutor` from a CLI/config spelling.
 
-    ``kind`` is ``"serial"`` or ``"thread"``; ``max_workers`` only applies to
-    the threaded executor.
+    ``kind`` is ``"serial"``, ``"threads"`` or ``"processes"`` (aliases
+    ``thread``, ``threadpool`` and ``process`` are accepted); ``max_workers``
+    applies to the threaded and process executors.
 
     >>> create_executor("serial").run([(0, lambda: 41 + 1)])
     [42]
     """
-    lowered = kind.lower()
-    if lowered == "serial":
+    canonical = canonical_executor_kind(kind)
+    if canonical == "serial":
         return SerialShardExecutor()
-    if lowered in ("thread", "threads", "threadpool"):
+    if canonical == "threads":
         return ThreadPoolShardExecutor(max_workers=max_workers)
-    raise ValueError(f"unknown executor kind '{kind}'; expected one of {EXECUTOR_KINDS}")
+    from repro.runtime.process import ProcessShardExecutor
+
+    return ProcessShardExecutor(max_workers=max_workers)

@@ -1,0 +1,284 @@
+"""Shared-memory plumbing for the process shard executor.
+
+Three pieces live here, all built on :mod:`multiprocessing.shared_memory`:
+
+* **Array packing** — :func:`pack_arrays` / :func:`attach_arrays` serialize a
+  named dict of NumPy arrays into one segment with a small layout descriptor
+  (name, dtype, shape, byte offset) that travels over the control pipe.
+* **Arenas** — :class:`ShmArena` is a grow-on-demand scratch segment used for
+  request/response payloads (feature ids, gradients, looked-up vectors).  The
+  parent creates the arena; when a batch needs more room a *new* segment is
+  created and the old one retired, so live views into the previous segment
+  stay valid until the caller is done with them.
+* **Sealed generations** — :class:`SealedGeneration` is a refcounted handle
+  over a read-only snapshot segment.  Each sealed shard view retains the
+  generation; when the last reference is released the mapping is closed and
+  the segment unlinked (unlink-on-last-close).  The executor keeps a weak
+  registry so ``close()`` can reap generations that are still alive when the
+  runtime shuts down.
+
+Resource-tracker discipline: Python's :mod:`multiprocessing.resource_tracker`
+registers a segment on *create and attach* and deduplicates by name, so any
+single ``unlink()`` in the parent settles the books.  The rule used
+throughout this package is therefore: **workers never unlink; the parent
+unlinks every segment exactly once** (arena retirement, generation release,
+or executor close).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from multiprocessing import shared_memory
+from typing import Iterator, Mapping
+
+import numpy as np
+
+#: One packed array: ``(key, dtype string, shape, byte offset)``.
+ArrayLayout = list[tuple[str, str, tuple[int, ...], int]]
+
+_ALIGNMENT = 64  # cache-line align every array inside a segment
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def layout_for(arrays: Mapping[str, np.ndarray]) -> tuple[ArrayLayout, int]:
+    """Compute the segment layout and total byte size for ``arrays``."""
+    layout: ArrayLayout = []
+    offset = 0
+    for key, array in arrays.items():
+        offset = _aligned(offset)
+        layout.append((key, str(array.dtype), tuple(array.shape), offset))
+        offset += array.nbytes
+    return layout, max(offset, 1)
+
+
+def write_arrays(
+    buf: memoryview, layout: ArrayLayout, arrays: Mapping[str, np.ndarray]
+) -> None:
+    """Copy ``arrays`` into ``buf`` at the offsets recorded in ``layout``."""
+    for key, dtype, shape, offset in layout:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
+        np.copyto(view, arrays[key], casting="no")
+
+
+def attach_arrays(
+    buf: memoryview, layout: ArrayLayout, writable: bool = True
+) -> dict[str, np.ndarray]:
+    """Return array views over ``buf`` as described by ``layout``."""
+    views: dict[str, np.ndarray] = {}
+    for key, dtype, shape, offset in layout:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
+        if not writable:
+            view.setflags(write=False)
+        views[key] = view
+    return views
+
+
+def close_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close a mapping, tolerating NumPy views that still export the buffer."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - depends on caller's GC timing
+        pass  # a live view pins the mapping; the OS reclaims it at exit
+
+
+class ShmArena:
+    """A grow-on-demand scratch segment with bump-pointer allocation.
+
+    The parent creates the arena and both sides attach by name.  ``reserve``
+    hands out aligned ``(offset, view)`` slices; ``reset`` rewinds the bump
+    pointer at the start of each batch.  When a reservation does not fit, a
+    larger segment replaces the current one and the old segment is *retired*:
+    its mapping (and the unlink, on the owner side) is deferred until
+    :meth:`reclaim` so views handed out earlier in the batch stay valid.
+    """
+
+    def __init__(
+        self,
+        name: str | None = None,
+        size: int = 1 << 20,
+        create: bool = True,
+        unlink_retired: bool = True,
+    ):
+        if create:
+            self.segment = shared_memory.SharedMemory(create=True, size=size, name=name)
+        else:
+            self.segment = shared_memory.SharedMemory(name=name)
+        #: Only the parent side unlinks; workers just close their mappings.
+        self.unlink_retired = bool(unlink_retired)
+        self._cursor = 0
+        self._retired: list[shared_memory.SharedMemory] = []
+
+    @property
+    def name(self) -> str:
+        return self.segment.name
+
+    @property
+    def size(self) -> int:
+        return self.segment.size
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def attach(self, name: str) -> None:
+        """Switch to the (larger) segment the other side grew to."""
+        if name == self.segment.name:
+            return
+        self._retired.append(self.segment)
+        self.segment = shared_memory.SharedMemory(name=name)
+        self._cursor = 0
+
+    def grow(self, minimum: int) -> str:
+        """Replace the segment with one at least ``minimum`` bytes large."""
+        new_size = max(self.segment.size * 2, _aligned(minimum))
+        self._retired.append(self.segment)
+        self.segment = shared_memory.SharedMemory(create=True, size=new_size)
+        self._cursor = 0
+        return self.segment.name
+
+    def reserve(self, nbytes: int) -> tuple[int, memoryview] | None:
+        """Allocate ``nbytes``; ``None`` when the caller must ``grow`` first."""
+        start = _aligned(self._cursor)
+        if start + nbytes > self.segment.size:
+            return None
+        self._cursor = start + nbytes
+        return start, self.segment.buf[start : start + nbytes]
+
+    def put_array(self, array: np.ndarray) -> tuple[tuple[str, tuple[int, ...], int], bool]:
+        """Copy ``array`` in; returns ``((dtype, shape, offset), grew)``."""
+        array = np.ascontiguousarray(array)
+        grew = False
+        slot = self.reserve(array.nbytes)
+        if slot is None:
+            self.grow(self._cursor + array.nbytes)
+            grew = True
+            slot = self.reserve(array.nbytes)
+            assert slot is not None
+        offset, _ = slot
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=self.segment.buf, offset=offset
+        )
+        np.copyto(view, array, casting="no")
+        return (str(array.dtype), tuple(array.shape), offset), grew
+
+    def get_array(self, spec: tuple[str, tuple[int, ...], int]) -> np.ndarray:
+        """View an array previously placed by the other side."""
+        dtype, shape, offset = spec
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=self.segment.buf, offset=offset)
+
+    def reclaim(self) -> None:
+        """Close (and unlink, when owned) every retired segment."""
+        for segment in self._retired:
+            close_segment(segment)
+            if self.unlink_retired:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+        self._retired.clear()
+
+    def close(self, unlink: bool) -> None:
+        self.reclaim()
+        close_segment(self.segment)
+        if unlink:
+            try:
+                self.segment.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class SealedGeneration:
+    """Refcounted read-only mapping of a sealed snapshot segment.
+
+    The parent attaches the segment a worker sealed, hands out read-only
+    array views, and retains the generation once per view owner.  The
+    segment is unlinked (and the mapping closed) when the last owner
+    releases it; a module-level registry lets the executor reap any
+    generation still alive at shutdown.
+    """
+
+    _live: "weakref.WeakSet[SealedGeneration]" = weakref.WeakSet()
+    _live_lock = threading.Lock()
+
+    def __init__(self, name: str, layout: ArrayLayout):
+        self.segment = shared_memory.SharedMemory(name=name)
+        self.layout = layout
+        self._refs = 0
+        self._lock = threading.Lock()
+        self._released = False
+        with SealedGeneration._live_lock:
+            SealedGeneration._live.add(self)
+
+    @property
+    def name(self) -> str:
+        return self.segment.name
+
+    def views(self) -> dict[str, np.ndarray]:
+        return attach_arrays(self.segment.buf, self.layout, writable=False)
+
+    def retain(self) -> "SealedGeneration":
+        with self._lock:
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs -= 1
+            if self._refs > 0 or self._released:
+                return
+            self._released = True
+        self._destroy()
+
+    def force_release(self) -> None:
+        """Unconditionally destroy (executor shutdown path)."""
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+        self._destroy()
+
+    def _destroy(self) -> None:
+        close_segment(self.segment)
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:
+            pass
+        with SealedGeneration._live_lock:
+            SealedGeneration._live.discard(self)
+
+    @classmethod
+    def reap_all(cls) -> int:
+        """Destroy every live generation; returns how many were reaped."""
+        with cls._live_lock:
+            live = list(cls._live)
+        for generation in live:
+            generation.force_release()
+        return len(live)
+
+
+def iter_live_generation_names() -> Iterator[str]:
+    with SealedGeneration._live_lock:
+        live = list(SealedGeneration._live)
+    for generation in live:
+        if not generation._released:
+            yield generation.name
+
+
+class GenerationLease:
+    """Ties one sealed view owner (a snapshot shard) to its generation.
+
+    Attached as an attribute on the reconstructed shard object so the
+    generation lives exactly as long as the snapshot does; a finalizer
+    releases the reference when the owner is garbage collected.
+    """
+
+    def __init__(self, generation: SealedGeneration):
+        self.generation = generation.retain()
+        self._finalizer = weakref.finalize(self, SealedGeneration.release, generation)
+
+    def release(self) -> None:
+        if self._finalizer.detach() is not None:
+            self.generation.release()

@@ -29,6 +29,16 @@ is safe without shard-level locking because the tasks of one operation touch
 disjoint shard objects, and all store-level bookkeeping (plan cache,
 copy-on-write swaps, step counter) happens on the calling thread before or
 after the fan-out.
+
+With a :class:`~repro.runtime.process.ProcessShardExecutor` the store goes
+*remote*: the shard objects are adopted into pinned worker processes
+(tables in shared memory) and ``self._shards`` holds
+:class:`~repro.runtime.process.ShardHandle` proxies instead.  Hot paths
+batch one op per shard through ``run_ops``; ``snapshot()`` swaps the
+copy-on-write discipline for *sealed generations* — the workers freeze
+their current segments, the parent maps them read-only, and the returned
+:class:`~repro.store.snapshot.StoreSnapshot` is bit-exact with the serial
+one while training keeps writing fresh generations.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ import numpy as np
 
 from repro.api import registry as capability_registry
 from repro.embeddings.base import CompressedEmbedding
+from repro.embeddings.plan import PlanStats
 from repro.runtime.executor import SerialShardExecutor, ShardExecutor, create_executor
 from repro.store.base import EmbeddingStore
 from repro.store.snapshot import StoreSnapshot
@@ -102,6 +113,8 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
             # The delegating fast path never touches the store-level plan
             # cache, so surface the backend's stats instead.
             self.plan_stats = self._shards[0].plan_stats
+        self._remote = False
+        self._adopt_if_remote()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -168,14 +181,65 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
                 yield shard_index, idx
 
     # ------------------------------------------------------------------ #
+    # Process-parallel runtime (remote shards)
+    # ------------------------------------------------------------------ #
+    @property
+    def remote(self) -> bool:
+        """True when the shards live in worker processes behind proxies."""
+        return self._remote
+
+    def _adopt_if_remote(self) -> None:
+        if not getattr(self.executor, "is_process_executor", False):
+            return
+        for shard in self._shards:
+            if not capability_registry.supports_process_parallel(shard):
+                raise ValueError(
+                    f"shard backend {type(shard).__name__} opts out of the process "
+                    "executor (supports_process_parallel=False); use 'serial' or "
+                    "'threads' instead"
+                )
+        self._shards = list(self.executor.adopt_units(self._shards, kind="shard"))
+        self._remote = True
+        self._cow_pending = [False] * self.num_shards
+        if self.num_shards == 1:
+            # The backend's plan cache now lives in the worker; its reuse
+            # rate is surfaced through describe() instead of this alias.
+            self.plan_stats = PlanStats()
+
+    def _shard_supports(self, shard, capability: str) -> bool:
+        """Capability check that works for both local shards and proxies.
+
+        Proxies carry the capabilities probed on the real backend at adopt
+        time (a structural probe on the proxy would always say yes).
+        """
+        caps = getattr(shard, "caps", None)
+        if caps is not None:
+            return bool(caps.get(capability, False))
+        if capability == "sketch":
+            return hasattr(shard, "sketch")
+        return getattr(capability_registry, "supports_" + capability)(shard)
+
+    # ------------------------------------------------------------------ #
     # EmbeddingStore / CompressedEmbedding interface
     # ------------------------------------------------------------------ #
     def set_executor(self, executor: ShardExecutor | str) -> None:
-        """Swap the fan-out runtime (``"serial"``, ``"thread"``, or instance)."""
+        """Swap the fan-out runtime (``"serial"``, ``"threads"``,
+        ``"processes"``, or an instance).
+
+        Leaving a process executor first pulls every shard back out of its
+        worker (bit-exact, private arrays); entering one adopts the shards
+        into fresh workers.
+        """
         if isinstance(executor, str):
             executor = create_executor(executor)
+        if self._remote:
+            self._shards = list(self.executor.release_units())
+            self._remote = False
+            if self.num_shards == 1:
+                self.plan_stats = self._shards[0].plan_stats
         self.executor.close()
         self.executor = executor
+        self._adopt_if_remote()
 
     def lookup(self, ids: np.ndarray) -> np.ndarray:
         """Gather embeddings from every owning shard; see the base contract.
@@ -190,6 +254,17 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
             return self._shards[0].lookup(ids)
         plan = self.plan_for(ids)
         out = np.empty((len(plan), self.dim), dtype=self.dtype)
+        if self._remote:
+            slices = list(self._shard_slices(plan))
+            results = self.executor.run_ops(
+                [
+                    (shard_index, "lookup", (plan.flat_ids[idx],))
+                    for shard_index, idx in slices
+                ]
+            )
+            for (shard_index, idx), vectors in zip(slices, results):
+                out[idx] = vectors  # copies out of the response arena
+            return out.reshape(plan.ids_shape + (self.dim,))
 
         def gather(shard, idx):
             out[idx] = shard.lookup(plan.flat_ids[idx])
@@ -219,6 +294,15 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
             return
         plan = self.plan_for(ids)
         flat_grads = grads.reshape(len(plan), -1)
+        if self._remote:
+            self.executor.run_ops(
+                [
+                    (shard_index, "apply_gradients", (plan.flat_ids[idx], flat_grads[idx]))
+                    for shard_index, idx in self._shard_slices(plan)
+                ]
+            )
+            self._step += 1
+            return
         tasks = []
         for shard_index, idx in self._shard_slices(plan):
             self._ensure_private(shard_index)
@@ -244,15 +328,20 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         supported = [
             shard_index
             for shard_index in range(self.num_shards)
-            if capability_registry.supports_rebalance(self._shards[shard_index])
+            if self._shard_supports(self._shards[shard_index], "rebalance")
         ]
         if not supported:
             return False
-        for shard_index in supported:
-            self._ensure_private(shard_index)
-        results = self.executor.run(
-            [(shard_index, self._shards[shard_index].rebalance) for shard_index in supported]
-        )
+        if self._remote:
+            results = self.executor.run_ops(
+                [(shard_index, "rebalance", ()) for shard_index in supported]
+            )
+        else:
+            for shard_index in supported:
+                self._ensure_private(shard_index)
+            results = self.executor.run(
+                [(shard_index, self._shards[shard_index].rebalance) for shard_index in supported]
+            )
         self.invalidate_plan()
         return any(results)
 
@@ -270,11 +359,21 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         shared; training's next write to a shard replaces it with a private
         deep copy (:attr:`cow_copies` counts those), so the returned view
         keeps serving exactly the values visible now.
+
+        Under the process executor the same contract is kept by *sealed
+        generations* instead: every worker seals its current shared-memory
+        segment (the parent maps it read-only and grafts it into a frozen
+        shard clone) and continues training in a fresh writable generation,
+        so no copy-on-write is needed afterwards.
         """
-        self._cow_pending = [True] * self.num_shards
         self.snapshots_taken += 1
+        if self._remote:
+            shards = tuple(self.executor.seal_units())
+        else:
+            self._cow_pending = [True] * self.num_shards
+            shards = tuple(self._shards)
         return StoreSnapshot(
-            shards=tuple(self._shards),
+            shards=shards,
             shard_seed=self.shard_seed,
             dim=self.dim,
             num_features=self.num_features,
@@ -284,7 +383,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         )
 
     def _ensure_private(self, shard_index: int) -> None:
-        if not self._cow_pending[shard_index]:
+        if self._remote or not self._cow_pending[shard_index]:
             return
         self._shards[shard_index] = copy.deepcopy(self._shards[shard_index])
         self._cow_pending[shard_index] = False
@@ -304,21 +403,38 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         shards are CAFE-style backends; returns ``None`` when no shard
         exposes a sketch.
         """
-        tasks = [
-            (shard_index, lambda s=shard: s.sketch)
+        supported = [
+            shard_index
             for shard_index, shard in enumerate(self._shards)
-            if hasattr(shard, "sketch")
+            if self._shard_supports(shard, "sketch")
         ]
-        if not tasks:
+        if not supported:
             return None
-        sketches = self.executor.run(tasks)
+        if self._remote:
+            sketches = self.executor.run_ops(
+                [(shard_index, "sketch", ()) for shard_index in supported]
+            )
+        else:
+            sketches = self.executor.run(
+                [
+                    (shard_index, lambda s=self._shards[shard_index]: s.sketch)
+                    for shard_index in supported
+                ]
+            )
+        sketches = [sketch for sketch in sketches if sketch is not None]
+        if not sketches:
+            return None
         return type(sketches[0]).merge_all(sketches)
 
     def describe(self) -> dict[str, float | int | str]:
         info = super().describe()
         info["num_shards"] = self.num_shards
-        info["backend"] = type(self._shards[0]).__name__
+        first = self._shards[0]
+        info["backend"] = getattr(first, "backend_class", None) or type(first).__name__
         info["executor"] = type(self.executor).__name__
+        if self._remote:
+            # Per-worker wall vs on-worker compute (IPC overhead) breakdown.
+            info["executor_stats"] = self.executor.stats.as_dict()
         return info
 
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -327,9 +443,10 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         """
         state: dict[str, np.ndarray] = {"num_shards": np.asarray(self.num_shards)}
         for index, shard in enumerate(self._shards):
-            if not capability_registry.supports_state_dict(shard):
+            if not self._shard_supports(shard, "state_dict"):
+                name = getattr(shard, "backend_class", None) or type(shard).__name__
                 raise NotImplementedError(
-                    f"shard backend {type(shard).__name__} does not support state_dict"
+                    f"shard backend {name} does not support state_dict"
                 )
             for key, value in shard.state_dict().items():
                 state[f"shard{index}.{key}"] = value
@@ -367,6 +484,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         # Restoring is a write: never mutate a shard a snapshot still serves.
         self._ensure_private(index)
         shard = self._shards[index]
-        if not capability_registry.supports_load_state_dict(shard):
-            raise ValueError(f"shard backend {type(shard).__name__} cannot load a state dict")
+        if not self._shard_supports(shard, "load_state_dict"):
+            name = getattr(shard, "backend_class", None) or type(shard).__name__
+            raise ValueError(f"shard backend {name} cannot load a state dict")
         shard.load_state_dict(state)

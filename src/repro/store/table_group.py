@@ -97,6 +97,32 @@ class TableGroup:
         the group-local id space."""
         return ids[:, self.field_indices] - self.global_shift[None, :]
 
+    def lookup_fused(self, local: np.ndarray) -> np.ndarray:
+        """Backend lookup projected up to the fused output dimension."""
+        vectors = self.backend.lookup(local)
+        if self.projection is not None:
+            vectors = vectors @ self.projection
+        return vectors
+
+    def apply_fused(self, local: np.ndarray, grad_slice: np.ndarray) -> None:
+        """Scatter fused-dim gradients into the backend (and projection).
+
+        Groups with a projection back-propagate through it: the narrow
+        table receives ``grad @ P^T`` and the projection trains on the
+        outer product with the pre-update rows (the MDE rule).
+        """
+        if self.projection is None:
+            self.backend.apply_gradients(local, grad_slice)
+            return
+        # Pre-update rows (plan-cache hit: lookup built this batch's plan).
+        vectors = self.backend.lookup(local)
+        flat_rows = vectors.reshape(-1, self.dim)
+        flat_grads = grad_slice.reshape(-1, grad_slice.shape[-1])
+        grad_rows = flat_grads @ self.projection.T
+        grad_projection = flat_rows.T @ flat_grads
+        self.backend.apply_gradients(local, grad_rows.reshape(vectors.shape))
+        self.projection -= self.projection_lr * grad_projection
+
     def memory_floats(self) -> int:
         """Backend footprint plus the projection matrix, if any."""
         total = self.backend.memory_floats()
@@ -251,6 +277,12 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         self._cow_pending = [False] * self.num_groups
         self.snapshots_taken = 0
         self.cow_copies = 0
+        self._remote = False
+        self._handles: list = []
+        #: Projection presence per group, captured before any adoption moves
+        #: the projection matrix into a worker process.
+        self._has_projection = [group.projection is not None for group in groups]
+        self._adopt_if_remote()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -438,12 +470,64 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
             for index, group in enumerate(self._groups)
         }
 
+    # ------------------------------------------------------------------ #
+    # Process-parallel runtime (remote groups)
+    # ------------------------------------------------------------------ #
+    @property
+    def remote(self) -> bool:
+        """True when the groups live in worker processes behind proxies."""
+        return self._remote
+
+    def _adopt_if_remote(self) -> None:
+        if not getattr(self.executor, "is_process_executor", False):
+            return
+        for group in self._groups:
+            if not capability_registry.supports_process_parallel(group.backend):
+                raise ValueError(
+                    f"group '{group.name}' backend {type(group.backend).__name__} opts "
+                    "out of the process executor (supports_process_parallel=False); "
+                    "use 'serial' or 'threads' instead"
+                )
+        handles = self.executor.adopt_units(self._groups, kind="group")
+        # The whole group (backend + projection) now lives in the worker; the
+        # parent-side group keeps only the routing arrays and the proxy, so
+        # the fused math (projection included) runs worker-side.
+        for group, handle in zip(self._groups, handles):
+            group.backend = handle
+            group.projection = None
+        self._handles = list(handles)
+        self._remote = True
+        self._cow_pending = [False] * self.num_groups
+
+    def _group_supports(self, group: TableGroup, capability: str) -> bool:
+        """Capability check on the group's backend, proxy-aware."""
+        caps = getattr(group.backend, "caps", None)
+        if caps is not None:
+            return bool(caps.get(capability, False))
+        if capability == "sketch":
+            return (
+                hasattr(group.backend, "merged_sketch")
+                or getattr(group.backend, "sketch", None) is not None
+            )
+        return getattr(capability_registry, "supports_" + capability)(group.backend)
+
     def set_executor(self, executor: ShardExecutor | str) -> None:
-        """Swap the group fan-out runtime (``"serial"``, ``"thread"``, instance)."""
+        """Swap the group fan-out runtime (``"serial"``, ``"threads"``,
+        ``"processes"``, or an instance).
+
+        Leaving a process executor pulls every group back out of its worker
+        (bit-exact, private arrays); entering one adopts the groups into
+        fresh workers.
+        """
         if isinstance(executor, str):
             executor = create_executor(executor)
+        if self._remote:
+            self._groups = list(self.executor.release_units())
+            self._handles = []
+            self._remote = False
         self.executor.close()
         self.executor = executor
+        self._adopt_if_remote()
 
     # ------------------------------------------------------------------ #
     # EmbeddingStore / CompressedEmbedding interface
@@ -461,12 +545,19 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         out = np.empty(ids.shape + (self.dim,), dtype=self.dtype)
         if ids.shape[0] == 0:
             return out
+        if self._remote:
+            results = self.executor.run_ops(
+                [
+                    (index, "lookup", (plan.routes[f"local{index}"],))
+                    for index in range(self.num_groups)
+                ]
+            )
+            for group, vectors in zip(self._groups, results):
+                out[:, group.field_indices, :] = vectors
+            return out
 
         def gather(group: TableGroup, local: np.ndarray) -> None:
-            vectors = group.backend.lookup(local)
-            if group.projection is not None:
-                vectors = vectors @ group.projection
-            out[:, group.field_indices, :] = vectors
+            out[:, group.field_indices, :] = group.lookup_fused(local)
 
         self.executor.run(
             [
@@ -490,44 +581,46 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         if ids.shape[0] == 0:
             self._step += 1
             return
+        if self._remote:
+            self.executor.run_ops(
+                [
+                    (
+                        index,
+                        "apply_gradients",
+                        (plan.routes[f"local{index}"], grads[:, group.field_indices, :]),
+                    )
+                    for index, group in enumerate(self._groups)
+                ]
+            )
+            self._step += 1
+            return
         tasks = []
         for index, group in enumerate(self._groups):
             self._ensure_private(index)
             group = self._groups[index]
             local = plan.routes[f"local{index}"]
             grad_slice = grads[:, group.field_indices, :]
-            tasks.append((index, lambda g=group, l=local, gr=grad_slice: self._scatter(g, l, gr)))
+            tasks.append((index, lambda g=group, l=local, gr=grad_slice: g.apply_fused(l, gr)))
         self.executor.run(tasks)
         self._step += 1
-
-    @staticmethod
-    def _scatter(group: TableGroup, local: np.ndarray, grad_slice: np.ndarray) -> None:
-        if group.projection is None:
-            group.backend.apply_gradients(local, grad_slice)
-            return
-        # Pre-update rows (plan-cache hit: lookup built this batch's plan).
-        vectors = group.backend.lookup(local)
-        flat_rows = vectors.reshape(-1, group.dim)
-        flat_grads = grad_slice.reshape(-1, grad_slice.shape[-1])
-        grad_rows = flat_grads @ group.projection.T
-        grad_projection = flat_rows.T @ flat_grads
-        group.backend.apply_gradients(local, grad_rows.reshape(vectors.shape))
-        group.projection -= group.projection_lr * grad_projection
 
     def rebalance(self) -> bool:
         """Fan one explicit adaptivity pass out across rebalance-capable groups."""
         supported = [
             index
             for index, group in enumerate(self._groups)
-            if capability_registry.supports_rebalance(group.backend)
+            if self._group_supports(group, "rebalance")
         ]
         if not supported:
             return False
-        for index in supported:
-            self._ensure_private(index)
-        results = self.executor.run(
-            [(index, self._groups[index].backend.rebalance) for index in supported]
-        )
+        if self._remote:
+            results = self.executor.run_ops([(index, "rebalance", ()) for index in supported])
+        else:
+            for index in supported:
+                self._ensure_private(index)
+            results = self.executor.run(
+                [(index, self._groups[index].backend.rebalance) for index in supported]
+            )
         self.invalidate_plan()
         return any(results)
 
@@ -545,9 +638,29 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         copy-on-write (training's next write to a group swaps in a private
         deep copy).  The small projection matrices are copied eagerly so
         in-place projection updates never leak into the snapshot.
+
+        Under the process executor the same contract is kept by *sealed
+        generations*: every worker seals its current shared-memory segment
+        and continues in a fresh writable one; the parent maps the sealed
+        segment read-only and grafts it into a frozen backend clone, so the
+        snapshot is bit-exact and copy-free on the reader side.
         """
-        self._cow_pending = [True] * self.num_groups
         self.snapshots_taken += 1
+        if self._remote:
+            sealed = self.executor.seal_units()
+            return TableGroupSnapshot(
+                groups=[
+                    (backend, group.field_indices.copy(), group.global_shift.copy(), projection)
+                    for (backend, projection), group in zip(sealed, self._groups)
+                ],
+                dim=self.dim,
+                num_fields=self.num_fields,
+                num_features=self.num_features,
+                dtype=self.dtype,
+                version=self.snapshots_taken,
+                step=self._step,
+            )
+        self._cow_pending = [True] * self.num_groups
         return TableGroupSnapshot(
             groups=[
                 (
@@ -567,7 +680,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         )
 
     def _ensure_private(self, group_index: int) -> None:
-        if not self._cow_pending[group_index]:
+        if self._remote or not self._cow_pending[group_index]:
             return
         self._groups[group_index] = copy.deepcopy(self._groups[group_index])
         self._cow_pending[group_index] = False
@@ -585,14 +698,29 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         alone is returned — still the store's best hot-feature view.
         Returns ``None`` when no group carries a sketch.
         """
-        sketches = []
-        for group in self._groups:
-            if hasattr(group.backend, "merged_sketch"):
-                sketch = group.backend.merged_sketch()
-            else:
-                sketch = getattr(group.backend, "sketch", None)
-            if sketch is not None:
-                sketches.append(sketch)
+        if self._remote:
+            supported = [
+                index
+                for index, group in enumerate(self._groups)
+                if self._group_supports(group, "sketch")
+            ]
+            if not supported:
+                return None
+            results = self.executor.run_ops([(index, "sketch", ()) for index in supported])
+            sketches = [sketch for sketch in results if sketch is not None]
+        else:
+            sketches = []
+            for group in self._groups:
+                if hasattr(group.backend, "merged_sketch"):
+                    sketch = group.backend.merged_sketch()
+                else:
+                    sketch = getattr(group.backend, "sketch", None)
+                if sketch is not None:
+                    sketches.append(sketch)
+        return self._merge_sketches(sketches)
+
+    @staticmethod
+    def _merge_sketches(sketches: list):
         if not sketches:
             return None
         geometry = {(s.num_buckets, s.slots_per_bucket, s.seed) for s in sketches}
@@ -602,6 +730,11 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
 
     def group_summaries(self) -> list[dict]:
         """Per-group description rows (used by bench and ``describe``)."""
+        if self._remote:
+            # The real backends live worker-side; describe them there.
+            return self.executor.run_ops(
+                [(index, "describe", ()) for index in range(self.num_groups)]
+            )
         return [group.describe() for group in self._groups]
 
     def describe(self) -> dict:
@@ -609,6 +742,9 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         info["num_groups"] = self.num_groups
         info["num_fields"] = self.num_fields
         info["executor"] = type(self.executor).__name__
+        if self._remote:
+            # Per-worker wall vs on-worker compute (IPC overhead) breakdown.
+            info["executor_stats"] = self.executor.stats.as_dict()
         info["groups"] = self.group_summaries()
         return info
 
@@ -620,12 +756,26 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
             "num_groups": np.asarray(self.num_groups),
             "step": np.asarray(self._step),
         }
-        for index, group in enumerate(self._groups):
-            if not capability_registry.supports_state_dict(group.backend):
+        for group in self._groups:
+            if not self._group_supports(group, "state_dict"):
+                name = getattr(group.backend, "backend_class", None) or type(
+                    group.backend
+                ).__name__
                 raise NotImplementedError(
-                    f"group '{group.name}' backend {type(group.backend).__name__} does "
-                    "not support state_dict"
+                    f"group '{group.name}' backend {name} does not support state_dict"
                 )
+        if self._remote:
+            payloads = self.executor.run_ops(
+                [(index, "state_dict", ()) for index in range(self.num_groups)]
+            )
+            for index, (group, payload) in enumerate(zip(self._groups, payloads)):
+                state[f"group{index}.fields"] = group.field_indices.copy()
+                if payload["projection"] is not None:
+                    state[f"group{index}.projection"] = payload["projection"]
+                for key, value in payload["backend"].items():
+                    state[f"group{index}.backend.{key}"] = value
+            return state
+        for index, group in enumerate(self._groups):
             state[f"group{index}.fields"] = group.field_indices.copy()
             if group.projection is not None:
                 state[f"group{index}.projection"] = group.projection.copy()
@@ -688,7 +838,10 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
             self._ensure_private(index)
             group = self._groups[index]
             projection_key = f"group{index}.projection"
-            if (projection_key in state) != (group.projection is not None):
+            has_projection = (
+                self._has_projection[index] if self._remote else group.projection is not None
+            )
+            if (projection_key in state) != has_projection:
                 raise ValueError(
                     f"checkpoint group {index} projection presence does not match the store"
                 )
@@ -704,14 +857,24 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
                     for key, value in state.items()
                     if key.startswith(prefix)
                 },
+                projection=state.get(projection_key),
             )
         self._step = int(state["step"])
         self.invalidate_plan()
 
-    def _load_backend(self, index: int, state: dict[str, np.ndarray]) -> None:
-        backend = self._groups[index].backend
-        if not capability_registry.supports_load_state_dict(backend):
-            raise ValueError(
-                f"group backend {type(backend).__name__} cannot load a state dict"
-            )
-        backend.load_state_dict(state)
+    def _load_backend(
+        self,
+        index: int,
+        state: dict[str, np.ndarray],
+        projection: np.ndarray | None = None,
+    ) -> None:
+        group = self._groups[index]
+        if not self._group_supports(group, "load_state_dict"):
+            name = getattr(group.backend, "backend_class", None) or type(group.backend).__name__
+            raise ValueError(f"group backend {name} cannot load a state dict")
+        if self._remote:
+            # The worker owns both halves of the group: ship the projection
+            # alongside the backend state in one payload.
+            group.backend.load_state_dict({"backend": state, "projection": projection})
+            return
+        group.backend.load_state_dict(state)

@@ -40,10 +40,22 @@ def test_report_structure_and_write(tmp_path):
     # Every step is one plan build (lookup) + one reuse (apply_gradients).
     assert cafe["plan_reuse_rate"] == 0.5
 
+    assert report["env"]["cpu_count"] >= 1
+
     scaling = results["shard_scaling"]
     assert scaling["shard_counts"] == [1, 2]  # smoke config drops the larger counts
+    assert scaling["executors"] == ["serial", "threads", "processes"]
     assert {row["num_shards"] for row in scaling["rows"]} == {1, 2}
+    assert {row["executor"] for row in scaling["rows"]} == set(scaling["executors"])
     assert all(row["steps_per_s"] > 0 for row in scaling["rows"])
+    # Each executor carries its own 1-shard baseline.
+    for row in scaling["rows"]:
+        if row["num_shards"] == 1:
+            assert row["relative_throughput"] == 1.0
+    gate = scaling["gate"]
+    assert gate["threshold"] == 2.0 and gate["executor"] == "processes"
+    assert gate["measured"] is None  # smoke run stops at 2 shards
+    assert gate["cpu_count"] == report["env"]["cpu_count"]
     serving = results["serving"]
     assert all(row["requests_per_s"] > 0 and row["p99_ms"] >= row["p50_ms"] for row in serving["rows"])
     assert results["hotsketch_insert"]["speedup_vs_baseline"] > 0
@@ -60,7 +72,7 @@ def test_report_structure_and_write(tmp_path):
 
     # Online pipeline: serving never lags the configured publish cadence.
     pipeline = results["online_pipeline"]
-    assert {row["executor"] for row in pipeline["rows"]} == {"serial", "thread"}
+    assert {row["executor"] for row in pipeline["rows"]} == {"serial", "threads", "processes"}
     for row in pipeline["rows"]:
         assert row["staleness_within_cadence"] is True
         assert row["max_staleness_steps"] <= row["cadence_steps"]

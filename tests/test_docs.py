@@ -12,7 +12,14 @@ sys.path.insert(0, str(REPO / "scripts"))
 
 from check_docs_links import check_paths, default_paths, github_slug, heading_anchors  # noqa: E402
 
-DOC_PAGES = ("architecture.md", "store.md", "serving.md", "pipeline.md", "benchmarks.md")
+DOC_PAGES = (
+    "architecture.md",
+    "store.md",
+    "serving.md",
+    "pipeline.md",
+    "benchmarks.md",
+    "runtime_processes.md",
+)
 
 #: Modules whose docstrings carry runnable examples (the CI doctest set).
 DOCTEST_MODULES = (
