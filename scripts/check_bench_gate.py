@@ -1,16 +1,25 @@
 #!/usr/bin/env python
-"""Assert the shard-scaling acceptance gate recorded in BENCH_embedding.json.
+"""Assert the acceptance gates recorded in BENCH_embedding.json.
 
-The gate (written by ``repro.bench.store_bench.bench_shard_scaling``) records
-the process-executor speedup of the hash backend at 4 shards vs 1 shard,
-next to the ``cpu_count`` of the recording host.  The threshold (>= 2.0x) is
-only physically reachable when the recorder had at least as many cores as
-shards, so this check is conditional by design:
+Two gates are checked against the most recent full (non-smoke) run:
 
-* full run recorded on >= 4 cores  ->  ``measured >= threshold`` or exit 1;
-* full run recorded on fewer cores ->  require the gate to be present,
-  honest (``cpu_constrained: true``) and measured, then pass with a notice;
-* no full (non-smoke) run recorded ->  exit 1.
+* **shard scaling** (written by ``repro.bench.store_bench.
+  bench_shard_scaling``): the process-executor speedup of the hash backend
+  at 4 shards vs 1 shard, next to the ``cpu_count`` of the recording host.
+  The threshold (>= 2.0x) is only physically reachable when the recorder had
+  at least as many cores as shards, so this check is conditional by design:
+
+  - full run recorded on >= 4 cores  ->  ``measured >= threshold`` or exit 1;
+  - full run recorded on fewer cores ->  require the gate to be present,
+    honest (``cpu_constrained: true``) and measured, then pass with a notice;
+
+* **cafe train step** (written by ``repro.bench.embedding_bench.
+  bench_cafe_train_step``): the fused CAFE numpy path must reach at least
+  0.7x the *pre-fusion* hash baseline's steps/s.  Single-process, so the
+  threshold is unconditional; the companion fused-hash ratio is printed for
+  context but not gated.
+
+No full (non-smoke) run recorded -> exit 1.
 
 Usage::
 
@@ -33,6 +42,16 @@ REQUIRED_KEYS = (
     "num_shards",
 )
 
+CAFE_REQUIRED_KEYS = (
+    "metric",
+    "threshold",
+    "measured",
+    "passed",
+    "hash_baseline_steps_per_s",
+    "hash_fused_steps_per_s",
+    "ratio_vs_fused_hash",
+)
+
 
 def full_run(envelope: dict) -> dict | None:
     """The most recent non-smoke report in the envelope, or None."""
@@ -43,17 +62,29 @@ def full_run(envelope: dict) -> dict | None:
     return None
 
 
-def main(argv: list[str]) -> int:
-    path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_embedding.json")
-    if not path.exists():
-        print(f"FAIL: {path} does not exist")
+def check_cafe_gate(run: dict) -> int:
+    """The fused-CAFE throughput gate: unconditional (single-process)."""
+    gate = run.get("results", {}).get("cafe_train_step", {}).get("gate")
+    if not isinstance(gate, dict):
+        print("FAIL: the full run's cafe_train_step section has no gate object")
         return 1
-    envelope = json.loads(path.read_text(encoding="utf-8"))
-    run = full_run(envelope)
-    if run is None:
-        print(f"FAIL: {path} records no full (non-smoke) benchmark run")
+    missing = [key for key in CAFE_REQUIRED_KEYS if key not in gate]
+    if missing:
+        print(f"FAIL: cafe gate object is missing keys {missing}")
         return 1
+    label = (
+        f"{gate['metric']}: measured {gate['measured']} vs threshold "
+        f"{gate['threshold']} (vs fused hash: {gate['ratio_vs_fused_hash']})"
+    )
+    if gate["measured"] is None or gate["measured"] < gate["threshold"]:
+        print(f"FAIL: {label}")
+        return 1
+    print(f"PASS: {label}")
+    return 0
 
+
+def check_shard_gate(run: dict) -> int:
+    """The shard-scaling gate: conditional on the recorder's core count."""
     gate = run.get("results", {}).get("shard_scaling", {}).get("gate")
     if not isinstance(gate, dict):
         print("FAIL: the full run's shard_scaling section has no gate object")
@@ -82,6 +113,20 @@ def main(argv: list[str]) -> int:
           f"(< {gate['num_shards']} shards), threshold physically unreachable; "
           "gate recorded honestly")
     return 0
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_embedding.json")
+    if not path.exists():
+        print(f"FAIL: {path} does not exist")
+        return 1
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    run = full_run(envelope)
+    if run is None:
+        print(f"FAIL: {path} records no full (non-smoke) benchmark run")
+        return 1
+    # Run both checks so a failing report prints every verdict at once.
+    return max(check_shard_gate(run), check_cafe_gate(run))
 
 
 if __name__ == "__main__":

@@ -191,6 +191,7 @@ class StoreConfig:
     optimizer: str = "sgd"
     learning_rate: float = 0.05
     dtype: str = "float32"
+    kernels: str = "numpy"
     fields: list | None = None
 
     def __post_init__(self):
@@ -222,6 +223,11 @@ class StoreConfig:
             raise ConfigurationError(
                 f"store.executor_workers must be positive, got {self.executor_workers}"
             )
+        from repro.kernels import resolve_kernel_backend_name
+
+        # Fail fast on an unknown/unavailable kernel backend; the configured
+        # name (possibly "auto") is kept and resolved again at build time.
+        resolve_kernel_backend_name(self.kernels)
         try:
             if np.dtype(self.dtype).kind != "f":
                 raise TypeError(f"'{self.dtype}' is not a float dtype")

@@ -28,6 +28,20 @@ from typing import Any, Callable
 
 from repro.errors import ConfigurationError
 
+# Kernel backends (the fused train-step math: segment sum, scatter-apply,
+# sketch insert) register through the same public surface.  The registry
+# itself lives in repro.kernels; these re-exports make
+# ``repro.api.registry.register_kernel_backend`` the one-stop extension
+# point alongside ``register_backend``.
+from repro.kernels.base import (
+    available_kernel_backends,
+    kernel_backend_available,
+    kernel_registry_summary,
+    register_kernel_backend,
+    resolve_kernel_backend_name,
+    unregister_kernel_backend,
+)
+
 
 class UnknownBackendError(ConfigurationError, ValueError):
     """Raised when a backend name resolves to nothing in the registry.

@@ -115,6 +115,7 @@ class Session:
             learning_rate=config.store.learning_rate,
             dtype=config.store.dtype,
             seed=config.seed,
+            kernels=config.store.kernels,
         )
 
     # ------------------------------------------------------------------ #

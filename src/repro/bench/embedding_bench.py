@@ -28,7 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench.group_bench import bench_table_group
-from repro.bench.legacy import LegacyCafeEmbedding, LegacyHotSketch
+from repro.bench.legacy import LegacyCafeEmbedding, LegacyHotSketch, LegacyRowSGD
 from repro.bench.runtime_bench import bench_online_pipeline, bench_shard_parallel
 from repro.bench.store_bench import bench_serving_throughput, bench_shard_scaling
 from repro.embeddings.cafe import CafeEmbedding
@@ -112,7 +112,7 @@ def _make_cafe(config: BenchConfig, cls=CafeEmbedding):
     return cls.from_budget(budget, dtype=config.dtype, rng=config.seed)
 
 
-def _time_train_steps(embedding, ids: np.ndarray, grads: np.ndarray, warmup: int) -> float:
+def time_train_steps(embedding, ids: np.ndarray, grads: np.ndarray, warmup: int) -> float:
     """Drive lookup + apply_gradients over the workload; returns seconds/step."""
     for step in range(warmup):
         embedding.lookup(ids[step])
@@ -125,33 +125,130 @@ def _time_train_steps(embedding, ids: np.ndarray, grads: np.ndarray, warmup: int
     return (time.perf_counter() - start) / timed
 
 
-def bench_cafe_train_step(config: BenchConfig) -> dict:
-    """CAFE train-step throughput, vectorized vs. pre-refactor baseline."""
+#: Backwards-compatible alias for external callers of the old private name.
+_time_train_steps = time_train_steps
+
+#: The ``cafe_train_step`` throughput gate: fused CAFE must reach at least
+#: this fraction of the *pre-fusion* hash baseline's steps/s (the ROADMAP's
+#: "cafe trains at ~0.4x hash" gap, closed by the fused scatter).
+CAFE_GATE_THRESHOLD = 0.7
+
+
+def _phase_breakdown_ms(embedding, timed_steps: int, before: dict) -> dict:
+    """Per-step phase attribution (milliseconds) from phase_snapshot diffs."""
+    after = embedding.phase_snapshot()
+    return {
+        f"{phase}_ms": round((after[phase] - before[phase]) / timed_steps / 1e6, 4)
+        for phase in ("locate", "admit", "apply", "sketch")
+    }
+
+
+def bench_cafe_train_step(config: BenchConfig, hash_result: dict | None = None) -> dict:
+    """CAFE train-step throughput: fused path per kernel backend, phase
+    breakdown, pre-refactor baseline, and the cafe-vs-hash throughput gate.
+    """
+    from repro.kernels import available_kernel_backends, kernel_registry_summary
+
     ids, grads = make_workload(config)
-    current = _make_cafe(config, CafeEmbedding)
+    timed_steps = config.steps
+
+    # One timed run per available kernel backend; numpy is the reference and
+    # always first, extra backends (numba) are optional accelerators.
+    kernel_rows = []
+    numpy_seconds = None
+    optional_names = {
+        row["name"] for row in kernel_registry_summary() if row.get("optional")
+    }
+    for backend_name in available_kernel_backends():
+        embedding = _make_cafe(config, CafeEmbedding)
+        embedding.set_kernel_backend(backend_name)
+        for step in range(config.warmup_steps):
+            embedding.lookup(ids[step])
+            embedding.apply_gradients(ids[step], grads[step])
+        before = embedding.phase_snapshot()
+        seconds = time_train_steps(
+            embedding, ids[config.warmup_steps:], grads[config.warmup_steps:], 0
+        )
+        row = {
+            "kernels": backend_name,
+            "steps_per_s": round(1.0 / seconds, 2),
+            "rows_per_s": round(config.batch_size / seconds, 1),
+            **_phase_breakdown_ms(embedding, timed_steps, before),
+        }
+        if backend_name in optional_names:
+            row["optional"] = True
+        kernel_rows.append(row)
+        if backend_name == "numpy":
+            numpy_seconds = seconds
+            numpy_plan_reuse = embedding.plan_stats.reuse_rate
+    if numpy_seconds is None:  # numpy is always registered; defensive only
+        raise RuntimeError("numpy kernel backend missing from the registry")
+
     legacy = _make_cafe(config, LegacyCafeEmbedding)
-    seconds = _time_train_steps(current, ids, grads, config.warmup_steps)
-    baseline_seconds = _time_train_steps(legacy, ids, grads, config.warmup_steps)
+    baseline_seconds = time_train_steps(legacy, ids, grads, config.warmup_steps)
+
+    numpy_row = kernel_rows[0]
+    result = {
+        # Headline numbers are the always-available numpy fused path.
+        "steps_per_s": numpy_row["steps_per_s"],
+        "rows_per_s": numpy_row["rows_per_s"],
+        "baseline_steps_per_s": round(1.0 / baseline_seconds, 2),
+        "speedup_vs_baseline": round(baseline_seconds / numpy_seconds, 3),
+        "plan_reuse_rate": numpy_plan_reuse,
+        "phases": {
+            key: numpy_row[key]
+            for key in ("locate_ms", "admit_ms", "apply_ms", "sketch_ms")
+        },
+        "kernel_backends": kernel_rows,
+    }
+    if hash_result is not None:
+        # The gate compares against the PRE-FUSION hash baseline — the
+        # steps/s the ROADMAP's "cafe is ~0.4x hash" gap was measured
+        # against.  The fused hash numbers are recorded alongside so the
+        # envelope stays honest about what the denominator is.
+        hash_baseline = hash_result["baseline_steps_per_s"]
+        hash_fused = hash_result["steps_per_s"]
+        measured = round(numpy_row["steps_per_s"] / hash_baseline, 3)
+        result["gate"] = {
+            "metric": "cafe_fused_steps_per_s / hash_prefusion_steps_per_s",
+            "threshold": CAFE_GATE_THRESHOLD,
+            "measured": measured,
+            "passed": measured >= CAFE_GATE_THRESHOLD,
+            "hash_baseline_steps_per_s": hash_baseline,
+            "hash_fused_steps_per_s": hash_fused,
+            "ratio_vs_fused_hash": round(numpy_row["steps_per_s"] / hash_fused, 3),
+            "note": (
+                "denominator is the pre-fusion hash path (LegacyRowSGD: "
+                "np.unique + np.add.at); the fused hash ratio is reported "
+                "for context but not gated — CAFE's sketch/admission work "
+                "is irreducible relative to a bare hash lookup"
+            ),
+        }
+    return result
+
+
+def bench_hash_train_step(config: BenchConfig) -> dict:
+    """Hash-embedding train-step throughput (the paper's fastest baseline),
+    fused vs. the pre-fusion ``np.unique`` + ``np.add.at`` update."""
+    ids, grads = make_workload(config)
+    rows = max(int(config.num_features / config.compression_ratio), 1)
+
+    def make_hash() -> HashEmbedding:
+        return HashEmbedding(
+            config.num_features, config.dim, num_rows=rows, dtype=config.dtype, rng=config.seed
+        )
+
+    embedding = make_hash()
+    seconds = time_train_steps(embedding, ids, grads, config.warmup_steps)
+    baseline = make_hash()
+    baseline.fused = False
+    baseline._optimizer = LegacyRowSGD(baseline.learning_rate)
+    baseline_seconds = time_train_steps(baseline, ids, grads, config.warmup_steps)
     return {
         "steps_per_s": round(1.0 / seconds, 2),
         "rows_per_s": round(config.batch_size / seconds, 1),
         "baseline_steps_per_s": round(1.0 / baseline_seconds, 2),
         "speedup_vs_baseline": round(baseline_seconds / seconds, 3),
-        "plan_reuse_rate": current.plan_stats.reuse_rate,
-    }
-
-
-def bench_hash_train_step(config: BenchConfig) -> dict:
-    """Hash-embedding train-step throughput (the paper's fastest baseline)."""
-    ids, grads = make_workload(config)
-    rows = max(int(config.num_features / config.compression_ratio), 1)
-    embedding = HashEmbedding(
-        config.num_features, config.dim, num_rows=rows, dtype=config.dtype, rng=config.seed
-    )
-    seconds = _time_train_steps(embedding, ids, grads, config.warmup_steps)
-    return {
-        "steps_per_s": round(1.0 / seconds, 2),
-        "rows_per_s": round(config.batch_size / seconds, 1),
         "plan_reuse_rate": embedding.plan_stats.reuse_rate,
     }
 
@@ -190,13 +287,16 @@ def bench_environment() -> dict:
 
 def run_benchmarks(config: BenchConfig) -> dict:
     """Run every micro-benchmark; returns the JSON-ready report."""
+    # Hash runs first: its pre-fusion baseline is the denominator of the
+    # cafe_train_step throughput gate.
+    hash_result = bench_hash_train_step(config)
     return {
         "schema_version": 2,
         "workload": config.as_dict(),
         "env": bench_environment(),
         "results": {
-            "cafe_train_step": bench_cafe_train_step(config),
-            "hash_train_step": bench_hash_train_step(config),
+            "cafe_train_step": bench_cafe_train_step(config, hash_result),
+            "hash_train_step": hash_result,
             "hotsketch_insert": bench_hotsketch_insert(config),
             "shard_scaling": bench_shard_scaling(config),
             "serving": bench_serving_throughput(config),

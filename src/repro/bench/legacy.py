@@ -48,8 +48,40 @@ class LegacyHotSketch(HotSketch):
         )
 
 
+class LegacyRowSGD:
+    """The pre-fusion row-wise SGD update: ``np.unique`` + ``np.add.at``.
+
+    This is the aggregation idiom every ``apply_gradients`` used before the
+    fused scatter landed — an O(n log n) unique, an ``np.add.at`` scatter-add
+    (the slow buffered ufunc path), and a fancy-indexed apply.  Swapping it
+    into a current embedding gives the honest "before" for the fused-path
+    speedup and the ``cafe_train_step`` gate's hash baseline.
+    """
+
+    def __init__(self, lr: float):
+        self.lr = float(lr)
+
+    def update(self, table, rows, grads, kernels=None) -> None:
+        unique_rows, inverse = np.unique(rows, return_inverse=True)
+        summed = np.zeros((unique_rows.shape[0], grads.shape[1]), dtype=table.dtype)
+        np.add.at(summed, inverse, grads)
+        table[unique_rows] -= self.lr * summed
+
+    def reset_rows(self, rows) -> None:
+        pass
+
+    def shared_buffers(self) -> dict:
+        return {}
+
+    def adopt_shared_buffers(self, views: dict) -> None:
+        pass
+
+
 class LegacyCafeEmbedding(CafeEmbedding):
     """CAFE with the seed's per-key loops and no routing-plan reuse."""
+
+    #: The seed had no fused scatter: per-region updates, per-step re-locate.
+    fused = False
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

@@ -85,7 +85,7 @@ def bench_shard_scaling(
     executors: tuple[str, ...] = SCALING_EXECUTORS,
 ) -> dict:
     """Train-step throughput per backend, executor and shard count."""
-    from repro.bench.embedding_bench import make_workload, _time_train_steps
+    from repro.bench.embedding_bench import make_workload, time_train_steps
 
     if config.smoke:
         shard_counts = tuple(s for s in shard_counts if s <= 2)
@@ -107,7 +107,7 @@ def bench_shard_scaling(
                     executor=create_executor(executor_kind),
                 )
                 try:
-                    seconds = _time_train_steps(store, ids, grads, config.warmup_steps)
+                    seconds = time_train_steps(store, ids, grads, config.warmup_steps)
                 finally:
                     store.executor.close()
                 if baseline_seconds is None:

@@ -113,6 +113,7 @@ def create_embedding(
     learning_rate: float = 0.05,
     dtype: np.dtype | str = DEFAULT_DTYPE,
     rng=None,
+    kernels: str | None = None,
     **kwargs,
 ) -> CompressedEmbedding:
     """Factory building any registered embedding scheme from a compression ratio.
@@ -133,9 +134,18 @@ def create_embedding(
     frequencies:
         Required by backends declaring ``requires=("frequencies",)`` (the
         offline-separation oracle).
+    kernels:
+        Kernel-backend name for the fused train-step hot path (``"numpy"``,
+        ``"numba"``, ``"auto"``, or any name added via
+        :func:`repro.kernels.register_kernel_backend`).  Resolved eagerly —
+        an unknown or unavailable name raises — then applied to backends
+        that run fused kernels (:class:`TableBackedEmbedding` subclasses);
+        structurally different backends (QR, MDE) ignore it.
     kwargs:
         Method-specific options forwarded to the backend factory.
     """
+    from repro.kernels import resolve_kernel_backend_name
+
     backend = _registry.get_backend(method)
     side_inputs = {"field_cardinalities": field_cardinalities, "frequencies": frequencies}
     for requirement in backend.requires:
@@ -143,7 +153,8 @@ def create_embedding(
         if value is None:
             raise ValueError(f"{backend.name} requires {requirement}")
         kwargs.setdefault(requirement, value)
-    return backend.factory(
+    resolved_kernels = None if kernels is None else resolve_kernel_backend_name(kernels)
+    embedding = backend.factory(
         num_features=num_features,
         dim=dim,
         compression_ratio=compression_ratio,
@@ -153,6 +164,9 @@ def create_embedding(
         rng=rng,
         **kwargs,
     )
+    if resolved_kernels is not None and hasattr(embedding, "set_kernel_backend"):
+        embedding.set_kernel_backend(resolved_kernels)
+    return embedding
 
 
 def create_embedding_store(
@@ -165,6 +179,7 @@ def create_embedding_store(
     learning_rate: float = 0.05,
     dtype: np.dtype | str = DEFAULT_DTYPE,
     seed: int = 0,
+    kernels: str | None = None,
     **kwargs,
 ):
     """Build an embedding *store* for a dataset schema from a spec string.
@@ -202,6 +217,7 @@ def create_embedding_store(
             dtype=dtype,
             seed=seed,
             executor=executor,
+            kernels=kernels,
             **kwargs,
         )
     entry = parsed.entries[0] if parsed is not None else None
@@ -237,6 +253,7 @@ def create_embedding_store(
         optimizer=optimizer,
         learning_rate=learning_rate,
         dtype=dtype,
+        kernels=kernels,
         **kwargs,
     )
 

@@ -20,15 +20,28 @@ Figure 15b) or adaptive: the adaptive controller nudges the threshold so that
 the exclusive table stays saturated, which is what the paper describes as the
 threshold being "meticulously set, allowing HotSketch to always saturate with
 hot features".
+
+Storage layout: all region tables (``hot_table``, ``shared_table``, and any
+subclass extras) are contiguous row-range *views* into one arena matrix.
+That turns the train-step hot path into single fused passes — lookup is one
+arena gather, and ``apply_gradients`` is one segment-sum + one optimizer
+scatter over arena row indices resolved at plan-build time — while every
+region keeps its familiar per-table identity for tests, checkpoints and the
+unfused reference path.  The fused and unfused paths share the same kernel
+backend and the same per-row optimizer state (region optimizers view into
+the arena optimizer's state), so they are bit-exact with each other.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
 from repro.embeddings.memory import MemoryBudget
-from repro.embeddings.plan import FreeRowPool
+from repro.embeddings.plan import FreeRowPool, ScatterPlan
+from repro.kernels.ops import stable_order
 from repro.nn.init import embedding_uniform
 from repro.sketch.hotsketch import NO_PAYLOAD, HotSketch
 from repro.utils.hashing import hash_to_range
@@ -95,21 +108,88 @@ class CafeEmbedding(TableBackedEmbedding):
             decay=self.decay,
             seed=sketch_seed,
         )
-        self.hot_table = embedding_uniform((self.num_hot_rows, dim), generator, dtype=self.dtype)
-        self._hot_optimizer = self._new_row_optimizer()
+        self._build_arena(generator)
+        self._arena_optimizer = self._new_row_optimizer()
+        self._bind_region_optimizers()
         self._free_rows = FreeRowPool(self.num_hot_rows)
         self.migrations_in = 0
         self.migrations_out = 0
+        self._phase_ns = {"locate": 0, "admit": 0, "apply": 0, "sketch": 0}
 
-        self._init_shared_tables(generator)
+    # ------------------------------------------------------------------ #
+    # Arena layout (region tables are views into one contiguous matrix)
+    # ------------------------------------------------------------------ #
+    def _arena_regions(self) -> list[tuple[str, int]]:
+        """``(attribute_name, num_rows)`` per region, in arena order.
+
+        Subclasses with more tables append to this list; the regions are
+        laid out (and their initial values drawn from the RNG) in exactly
+        this order, so the per-table initialization matches the historical
+        separate-table construction draw for draw.
+        """
+        return [("hot_table", self.num_hot_rows), ("shared_table", self.num_shared_rows)]
+
+    def _build_arena(self, rng: np.random.Generator) -> None:
+        regions = self._arena_regions()
+        total = sum(rows for _, rows in regions)
+        self._arena = np.empty((total, self.dim), dtype=self.dtype)
+        self._region_offsets: dict[str, int] = {}
+        offset = 0
+        for name, rows in regions:
+            self._region_offsets[name] = offset
+            self._arena[offset : offset + rows] = embedding_uniform(
+                (rows, self.dim), rng, dtype=self.dtype
+            )
+            offset += rows
+        self._bind_arena_views()
+        self._shared_offset = self._region_offsets["shared_table"]
+
+    def _bind_arena_views(self) -> None:
+        for name, rows in self._arena_regions():
+            offset = self._region_offsets[name]
+            setattr(self, name, self._arena[offset : offset + rows])
+
+    def _region_optimizer(self, name: str):
+        """A per-region optimizer whose per-row state views the arena state.
+
+        The fused path applies one scatter through ``_arena_optimizer``; the
+        unfused reference path updates each region through these.  Sharing
+        the state arrays (region slices of the arena accumulator) is what
+        keeps the two paths interchangeable mid-training.
+        """
+        optimizer = self._new_row_optimizer()
+        arena_state = self._arena_optimizer.shared_buffers(self._arena)
+        if arena_state:
+            offset = self._region_offsets[name]
+            rows = dict(self._arena_regions())[name]
+            optimizer.adopt_shared_buffers(
+                {key: array[offset : offset + rows] for key, array in arena_state.items()}
+            )
+        return optimizer
+
+    def _bind_region_optimizers(self) -> None:
+        self._hot_optimizer = self._region_optimizer("hot_table")
+        self._shared_optimizer = self._region_optimizer("shared_table")
+
+    def __getstate__(self):
+        # Region tables are views into the arena and region optimizers view
+        # the arena optimizer's state; pickling them by value would sever the
+        # aliasing, so they are dropped here and rebuilt in __setstate__.
+        state = super().__getstate__()
+        for name, _ in self._arena_regions():
+            state.pop(name, None)
+        for name in ("_hot_optimizer", "_shared_optimizer", "_secondary_optimizer"):
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._bind_arena_views()
+        self._bind_region_optimizers()
 
     # ------------------------------------------------------------------ #
     # Shared-table hooks (overridden by the multi-level variant)
     # ------------------------------------------------------------------ #
-    def _init_shared_tables(self, rng: np.random.Generator) -> None:
-        self.shared_table = embedding_uniform((self.num_shared_rows, self.dim), rng, dtype=self.dtype)
-        self._shared_optimizer = self._new_row_optimizer()
-
     def _shared_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
         """Routing of non-hot ids through the shared table(s)."""
         return {"shared_rows": hash_to_range(flat_ids, self.num_shared_rows, seed=self.hash_seed)}
@@ -117,8 +197,10 @@ class CafeEmbedding(TableBackedEmbedding):
     def _shared_lookup_routed(self, routes: dict[str, np.ndarray]) -> np.ndarray:
         return self.shared_table[routes["shared_rows"]]
 
-    def _shared_update_routed(self, routes: dict[str, np.ndarray], grads: np.ndarray) -> None:
-        self._shared_optimizer.update(self.shared_table, routes["shared_rows"], grads)
+    def _shared_update_routed(
+        self, routes: dict[str, np.ndarray], grads: np.ndarray, kernels=None
+    ) -> None:
+        self._shared_optimizer.update(self.shared_table, routes["shared_rows"], grads, kernels)
 
     def _shared_lookup(self, flat_ids: np.ndarray) -> np.ndarray:
         return self._shared_lookup_routed(self._shared_routes(flat_ids))
@@ -133,7 +215,31 @@ class CafeEmbedding(TableBackedEmbedding):
         return {"shared_table": self.shared_table.copy()}
 
     def _load_shared_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        self.shared_table = np.asarray(state["shared_table"], dtype=self.dtype).copy()
+        shared = np.asarray(state["shared_table"], dtype=self.dtype)
+        if shared.shape != self.shared_table.shape:
+            raise ValueError(
+                f"checkpoint shared_table shape {shared.shape} does not match "
+                f"{self.shared_table.shape}"
+            )
+        self.shared_table[:] = shared
+
+    # ------------------------------------------------------------------ #
+    # Fused-scatter hooks (overridden by the multi-level variant)
+    # ------------------------------------------------------------------ #
+    def _scatter_entries(
+        self, arena_rows: np.ndarray, routes: dict[str, np.ndarray]
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """``(positions, rows)`` scatter entries for the fused update.
+
+        Base CAFE scatters each gradient position into exactly one arena row,
+        so positions are implicit (``None`` = identity) and no gradient
+        gather is needed.  Subclasses where one position updates several rows
+        (summation pooling) return an explicit position per entry.
+        """
+        return None, arena_rows
+
+    def _lookup_fused_extra(self, out: np.ndarray, routes: dict[str, np.ndarray]) -> None:
+        """Add contributions beyond the primary arena gather (subclass hook)."""
 
     # ------------------------------------------------------------------ #
     # Budget-driven construction
@@ -201,11 +307,110 @@ class CafeEmbedding(TableBackedEmbedding):
         return (self._routing_version, self.sketch.total_insertions)
 
     def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
-        payloads = self.sketch.get_payloads(flat_ids)
-        hot_mask = payloads != NO_PAYLOAD
-        routes = {"payloads": payloads, "hot_mask": hot_mask}
+        n = flat_ids.shape[0]
+        # One locate per *unique* id: sort the batch by id (stably, so ties
+        # keep batch order — the property every downstream segment sum relies
+        # on for bit-exactness), probe the sketch once per unique id, and
+        # broadcast the results back to positions.  The same locate results
+        # are reused by the fused sketch insertion in apply_gradients.
+        order = stable_order(flat_ids)
+        sorted_ids = flat_ids[order]
+        boundary = np.empty(n, dtype=bool)
+        if n:
+            boundary[0] = True
+            np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=boundary[1:])
+        id_starts = np.flatnonzero(boundary)
+        uids = sorted_ids[id_starts]
+        # Segment index per sorted position: repeat over run lengths is ~3x
+        # cheaper than the cumsum-over-booleans formulation.
+        segment_of_sorted = np.repeat(
+            np.arange(id_starts.shape[0], dtype=np.int64), np.diff(id_starts, append=n)
+        )
+
+        found, buckets, slots = self.sketch.locate(uids)
+        payloads_u = np.where(found, self.sketch.payloads[buckets, slots], NO_PAYLOAD)
+        hot_u = payloads_u != NO_PAYLOAD
+
+        routes = {
+            "order": order,
+            "id_starts": id_starts,
+            "uids": uids,
+            "sketch_found": found,
+            "sketch_buckets": buckets,
+            "sketch_slots": slots,
+            "hot_u": hot_u,
+            "segment_of_sorted": segment_of_sorted,
+        }
+
+        arena_rows_u = self._arena_rows_unique(uids, hot_u, payloads_u)
+        if arena_rows_u is not None:
+            # Fast path: every per-unique-id decision (hot payload vs shared
+            # hash) is resolved on the ~deduplicated axis, then materialized
+            # per position with a single inverse-permutation broadcast.  The
+            # per-position masks the unfused reference path wants are derived
+            # lazily from these rows (see _ensure_position_routes); the fused
+            # scatter needs nothing but the rows themselves.
+            arena_rows = np.empty(n, dtype=np.int64)
+            arena_rows[order] = arena_rows_u[segment_of_sorted]
+            routes["arena_rows"] = arena_rows
+            routes["scatter"] = ScatterPlan.from_rows(arena_rows)
+            routes["scatter_positions"] = None
+            return routes
+
+        # Position-level path (multi-level variant: medium-class routing is
+        # inherently per position, so the masks are broadcast up front).
+        hot_mask = np.empty(n, dtype=bool)
+        hot_mask[order] = hot_u[segment_of_sorted]
+        payloads = np.empty(n, dtype=np.int64)
+        payloads[order] = payloads_u[segment_of_sorted]
+        routes["payloads"] = payloads
+        routes["hot_mask"] = hot_mask
         routes.update(self._shared_routes(flat_ids[~hot_mask]))
+
+        arena_rows = np.empty(n, dtype=np.int64)
+        arena_rows[hot_mask] = payloads[hot_mask]
+        arena_rows[~hot_mask] = self._shared_offset + routes["shared_rows"]
+        routes["arena_rows"] = arena_rows
+
+        positions, entry_rows = self._scatter_entries(arena_rows, routes)
+        routes["scatter"] = ScatterPlan.from_rows(entry_rows)
+        routes["scatter_positions"] = positions
         return routes
+
+    def _arena_rows_unique(
+        self, uids: np.ndarray, hot_u: np.ndarray, payloads_u: np.ndarray
+    ) -> np.ndarray | None:
+        """Arena row per *unique* id, or ``None`` to force position routing.
+
+        Base CAFE's routing is a pure function of the id (hot payload, else
+        shared hash), so it can run on the deduplicated axis.  Subclasses
+        whose routing needs per-position information return ``None``.
+        """
+        arena_rows_u = payloads_u.copy()  # hot payloads ARE arena rows (offset 0)
+        cold_uids = uids[~hot_u]
+        arena_rows_u[~hot_u] = self._shared_offset + hash_to_range(
+            cold_uids, self.num_shared_rows, seed=self.hash_seed
+        )
+        return arena_rows_u
+
+    def _ensure_position_routes(self, routes: dict[str, np.ndarray]) -> np.ndarray:
+        """Materialize per-position ``hot_mask``/``payloads``/``shared_rows``.
+
+        The uid-level fast path skips these broadcasts; the unfused reference
+        path (and any introspection) derives them here from the arena rows —
+        the hot region sits at arena offset 0, so a position is hot exactly
+        when its arena row precedes the shared offset, its payload is that
+        row, and shared rows are the offset-relative remainder.  Returns the
+        hot mask.
+        """
+        if "hot_mask" not in routes:
+            arena_rows = routes["arena_rows"]
+            hot_mask = np.empty(arena_rows.shape[0], dtype=bool)
+            hot_mask[routes["order"]] = routes["hot_u"][routes["segment_of_sorted"]]
+            routes["hot_mask"] = hot_mask
+            routes["payloads"] = np.where(hot_mask, arena_rows, NO_PAYLOAD)
+            routes["shared_rows"] = arena_rows[~hot_mask] - self._shared_offset
+        return routes["hot_mask"]
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -213,17 +418,16 @@ class CafeEmbedding(TableBackedEmbedding):
     def lookup(self, ids: np.ndarray) -> np.ndarray:
         """Gather hot features (sketch payload points at an exclusive row) from
         the hot table and the rest from the shared hashed table, per the
-        cached routing plan (paper Fig. 4 serving path).
+        cached routing plan (paper Fig. 4 serving path).  With the arena
+        layout both cases are one gather over precomputed arena rows.
         """
         ids = self._check_ids(ids)
+        start = time.perf_counter_ns()
         plan = self.plan_for(ids)
+        self._phase_ns["locate"] += time.perf_counter_ns() - start
         routes = plan.routes
-        hot_mask = routes["hot_mask"]
-        out = np.empty((len(plan), self.dim), dtype=self.dtype)
-        if hot_mask.any():
-            out[hot_mask] = self.hot_table[routes["payloads"][hot_mask]]
-        if (~hot_mask).any():
-            out[~hot_mask] = self._shared_lookup_routed(routes)
+        out = np.take(self._arena, routes["arena_rows"], axis=0)
+        self._lookup_fused_extra(out, routes)
         return out.reshape(plan.ids_shape + (self.dim,))
 
     # ------------------------------------------------------------------ #
@@ -237,30 +441,66 @@ class CafeEmbedding(TableBackedEmbedding):
         grads = self._check_grads(ids, grads)
         # The plan built by the forward pass is reused here (cache hit), so
         # the bucket hash + slot locate run once per training step.
+        start = time.perf_counter_ns()
         plan = self.plan_for(ids)
+        tick = time.perf_counter_ns()
+        self._phase_ns["locate"] += tick - start
         flat_ids = plan.flat_ids
-        flat_grads = grads.reshape(len(plan), -1)
-
-        # 1. Parameter update using the assignment that produced the forward pass.
+        flat_grads = grads.reshape(len(plan), self.dim)
         routes = plan.routes
-        hot_mask = routes["hot_mask"]
-        if hot_mask.any():
-            self._hot_optimizer.update(
-                self.hot_table, routes["payloads"][hot_mask], flat_grads[hot_mask]
-            )
-        if (~hot_mask).any():
-            self._shared_update_routed(routes, flat_grads[~hot_mask])
+
+        # 1. Parameter update using the assignment that produced the forward
+        #    pass: one fused segment-sum + optimizer scatter over the arena,
+        #    or the per-region reference path (same kernels, bit-exact).
+        if self.fused:
+            positions = routes["scatter_positions"]
+            values = flat_grads if positions is None else flat_grads[positions]
+            self.fused_apply(self._arena, self._arena_optimizer, routes["scatter"], values)
+        else:
+            hot_mask = self._ensure_position_routes(routes)
+            if hot_mask.any():
+                self._hot_optimizer.update(
+                    self.hot_table,
+                    routes["payloads"][hot_mask],
+                    flat_grads[hot_mask],
+                    self._kernels(),
+                )
+            if not hot_mask.all():
+                self._shared_update_routed(routes, flat_grads[~hot_mask], self._kernels())
+        tock = time.perf_counter_ns()
+        self._phase_ns["apply"] += tock - tick
 
         # 2. Importance scores: gradient norms (or raw frequency for the ablation).
         if self.use_frequency:
             scores = np.ones(flat_ids.shape[0], dtype=np.float64)
         else:
-            scores = np.linalg.norm(flat_grads, axis=1)
+            squared = np.einsum("ij,ij->i", flat_grads, flat_grads)
+            scores = np.sqrt(squared).astype(np.float64)
 
         # 3. Sketch insertion; SpaceSaving replacement may evict hot features.
-        evictions = self.sketch.insert(flat_ids, scores)
-        if len(evictions):
+        #    The fused path reuses the plan's per-unique-id locate results and
+        #    aggregates duplicate ids with the same stable-sort segment sum
+        #    Sketch.insert performs, so both paths mutate the sketch
+        #    identically.
+        if self.fused:
+            if routes["uids"].shape[0]:
+                totals = np.add.reduceat(scores[routes["order"]], routes["id_starts"])
+                evictions = self.sketch.insert_routed(
+                    routes["uids"],
+                    totals,
+                    routes["sketch_found"],
+                    routes["sketch_buckets"],
+                    routes["sketch_slots"],
+                    self._kernels(),
+                )
+            else:
+                evictions = None
+        else:
+            evictions = self.sketch.insert(flat_ids, scores)
+        if evictions is not None and len(evictions):
             self._release_rows(evictions.payloads)
+        tick = time.perf_counter_ns()
+        self._phase_ns["sketch"] += tick - tock
 
         # 4. Periodic decay, threshold adaptation and migration.
         self._step += 1
@@ -271,6 +511,18 @@ class CafeEmbedding(TableBackedEmbedding):
                 self._update_threshold()
             self._rebalance()
         self.invalidate_plan()
+        self._phase_ns["admit"] += time.perf_counter_ns() - tick
+
+    def phase_snapshot(self) -> dict[str, int]:
+        """Cumulative nanoseconds spent per train-step phase.
+
+        ``locate`` covers routing-plan construction/reuse (both halves of the
+        step), ``apply`` the parameter update, ``sketch`` scoring + sketch
+        insertion + row release, and ``admit`` the periodic decay/threshold/
+        migration maintenance.  The bench diffs two snapshots to attribute
+        per-step cost.
+        """
+        return dict(self._phase_ns)
 
     # ------------------------------------------------------------------ #
     # Migration machinery (§3.3)
@@ -404,7 +656,12 @@ class CafeEmbedding(TableBackedEmbedding):
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        self.hot_table = np.asarray(state["hot_table"], dtype=self.dtype).copy()
+        hot = np.asarray(state["hot_table"], dtype=self.dtype)
+        if hot.shape != self.hot_table.shape:
+            raise ValueError(
+                f"checkpoint hot_table shape {hot.shape} does not match {self.hot_table.shape}"
+            )
+        self.hot_table[:] = hot
         self._load_shared_state_dict(state)
         self._free_rows = FreeRowPool(np.asarray(state["free_rows"], dtype=np.int64))
         self.hot_threshold = float(state["hot_threshold"])

@@ -5,6 +5,11 @@ classes.  Medium features combine two rows from two distinct hash tables
 (summation pooling), cold features read a single row from the first table, so
 a feature moving between the classes keeps its first-table row and its
 representation stays smooth — exactly the behaviour described in the paper.
+
+The secondary table is a third region of the base class's arena; on the fused
+path a medium position simply contributes two scatter entries (its primary
+shared row and its secondary row), so summation pooling rides the same single
+segment-sum + scatter as everything else.
 """
 
 from __future__ import annotations
@@ -13,7 +18,6 @@ import numpy as np
 
 from repro.embeddings.cafe import SKETCH_ATTRIBUTES_PER_SLOT, CafeEmbedding
 from repro.embeddings.memory import MemoryBudget
-from repro.nn.init import embedding_uniform
 from repro.utils.hashing import hash_to_range
 from repro.utils.rng import SeedLike
 
@@ -31,8 +35,8 @@ class CafeMultiLevelEmbedding(CafeEmbedding):
         medium_fraction: float = 0.2,
         **kwargs,
     ):
-        # The secondary table size must be known before the parent constructor
-        # calls ``_init_shared_tables``.
+        # The secondary region size must be known before the parent
+        # constructor lays out the arena.
         if num_secondary_rows is None:
             num_secondary_rows = max(num_shared_rows // 2, 1)
         self.num_secondary_rows = int(num_secondary_rows)
@@ -48,19 +52,24 @@ class CafeMultiLevelEmbedding(CafeEmbedding):
         )
 
     # ------------------------------------------------------------------ #
-    # Shared-table hooks
+    # Arena + shared-table hooks
     # ------------------------------------------------------------------ #
-    def _init_shared_tables(self, rng: np.random.Generator) -> None:
-        super()._init_shared_tables(rng)
-        self.secondary_table = embedding_uniform(
-            (self.num_secondary_rows, self.dim), rng, dtype=self.dtype
-        )
-        self._secondary_optimizer = self._new_row_optimizer()
+    def _arena_regions(self) -> list[tuple[str, int]]:
+        return super()._arena_regions() + [("secondary_table", self.num_secondary_rows)]
+
+    def _bind_region_optimizers(self) -> None:
+        super()._bind_region_optimizers()
+        self._secondary_optimizer = self._region_optimizer("secondary_table")
 
     @property
     def medium_threshold(self) -> float:
         """Medium features have scores in ``[medium_threshold, hot_threshold)``."""
         return self.hot_threshold * self.medium_fraction
+
+    def _arena_rows_unique(self, uids, hot_u, payloads_u):
+        # Medium-class routing needs per-position masks; take the base
+        # class's position-level route construction.
+        return None
 
     def _medium_mask(self, flat_ids: np.ndarray) -> np.ndarray:
         scores = self.sketch.query(flat_ids)
@@ -82,17 +91,51 @@ class CafeMultiLevelEmbedding(CafeEmbedding):
             out[medium] += self.secondary_table[routes["secondary_rows"]]
         return out
 
-    def _shared_update_routed(self, routes: dict[str, np.ndarray], grads: np.ndarray) -> None:
-        self._shared_optimizer.update(self.shared_table, routes["shared_rows"], grads)
+    def _shared_update_routed(
+        self, routes: dict[str, np.ndarray], grads: np.ndarray, kernels=None
+    ) -> None:
+        self._shared_optimizer.update(self.shared_table, routes["shared_rows"], grads, kernels)
         medium = routes["medium_mask"]
         if medium.any():
             # Summation pooling: the gradient flows unchanged into both tables.
             self._secondary_optimizer.update(
-                self.secondary_table, routes["secondary_rows"], grads[medium]
+                self.secondary_table, routes["secondary_rows"], grads[medium], kernels
             )
 
     def _shared_memory_floats(self) -> int:
         return int(self.shared_table.size + self.secondary_table.size)
+
+    # ------------------------------------------------------------------ #
+    # Fused-scatter hooks
+    # ------------------------------------------------------------------ #
+    def _scatter_entries(
+        self, arena_rows: np.ndarray, routes: dict[str, np.ndarray]
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """Medium positions scatter into two rows: primary shared + secondary.
+
+        The extra entries reference the same gradient position, so the fused
+        segment sum naturally performs the summation-pooling backward pass.
+        """
+        cold_positions = np.flatnonzero(~routes["hot_mask"])
+        medium_positions = cold_positions[routes["medium_mask"]]
+        secondary_arena_rows = (
+            self._region_offsets["secondary_table"] + routes["secondary_rows"]
+        )
+        # Stash the resolved extras for the fused lookup's secondary add.
+        routes["medium_positions"] = medium_positions
+        routes["secondary_arena_rows"] = secondary_arena_rows
+        if medium_positions.shape[0] == 0:
+            return None, arena_rows
+        positions = np.concatenate(
+            [np.arange(arena_rows.shape[0], dtype=np.int64), medium_positions]
+        )
+        rows = np.concatenate([arena_rows, secondary_arena_rows])
+        return positions, rows
+
+    def _lookup_fused_extra(self, out: np.ndarray, routes: dict[str, np.ndarray]) -> None:
+        medium_positions = routes["medium_positions"]
+        if medium_positions.shape[0]:
+            out[medium_positions] += self._arena[routes["secondary_arena_rows"]]
 
     # ------------------------------------------------------------------ #
     # Budget-driven construction
@@ -135,4 +178,10 @@ class CafeMultiLevelEmbedding(CafeEmbedding):
 
     def _load_shared_state_dict(self, state: dict[str, np.ndarray]) -> None:
         super()._load_shared_state_dict(state)
-        self.secondary_table = np.asarray(state["secondary_table"], dtype=self.dtype).copy()
+        secondary = np.asarray(state["secondary_table"], dtype=self.dtype)
+        if secondary.shape != self.secondary_table.shape:
+            raise ValueError(
+                f"checkpoint secondary_table shape {secondary.shape} does not match "
+                f"{self.secondary_table.shape}"
+            )
+        self.secondary_table[:] = secondary

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
+from repro.embeddings.plan import ScatterPlan
 from repro.nn.init import embedding_uniform
 from repro.utils.rng import SeedLike, make_rng
 
@@ -32,9 +33,16 @@ class FullEmbedding(TableBackedEmbedding):
         self.table = embedding_uniform((num_features, dim), generator, dtype=self.dtype)
         self._optimizer = self._new_row_optimizer()
 
+    def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
+        # Ids are rows, so the only cacheable routing work is the scatter.
+        return {"scatter": ScatterPlan.from_rows(flat_ids)}
+
     def lookup(self, ids: np.ndarray) -> np.ndarray:
         """Gather the id's own row: one uncompressed row per feature."""
         ids = self._check_ids(ids)
+        # Build (or reuse) the plan here so apply_gradients consumes the
+        # scatter prepared by the forward pass instead of re-sorting.
+        self.plan_for(ids)
         return self.table[ids]
 
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
@@ -42,7 +50,11 @@ class FullEmbedding(TableBackedEmbedding):
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         flat_ids, flat_grads = self._flatten(ids, grads)
-        self._optimizer.update(self.table, flat_ids, flat_grads)
+        if self.fused:
+            plan = self.plan_for(ids)
+            self.fused_apply(self.table, self._optimizer, plan.routes["scatter"], flat_grads)
+        else:
+            self._optimizer.update(self.table, flat_ids, flat_grads, self._kernels())
         self._step += 1
 
     def memory_floats(self) -> int:

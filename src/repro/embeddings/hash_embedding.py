@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.embeddings.base import DEFAULT_DTYPE, TableBackedEmbedding
 from repro.embeddings.memory import MemoryBudget
+from repro.embeddings.plan import ScatterPlan
 from repro.nn.init import embedding_uniform
 from repro.utils.hashing import hash_to_range
 from repro.utils.rng import SeedLike, make_rng
@@ -69,7 +70,8 @@ class HashEmbedding(TableBackedEmbedding):
         return hash_to_range(ids, self.num_rows, seed=self.hash_seed)
 
     def _build_routes(self, flat_ids: np.ndarray) -> dict[str, np.ndarray]:
-        return {"rows": self._rows_for(flat_ids)}
+        rows = self._rows_for(flat_ids)
+        return {"rows": rows, "scatter": ScatterPlan.from_rows(rows)}
 
     def lookup(self, ids: np.ndarray) -> np.ndarray:
         """Gather each id's single hashed row from the shared table (hash-trick:
@@ -86,7 +88,11 @@ class HashEmbedding(TableBackedEmbedding):
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
         plan = self.plan_for(ids)
-        self._optimizer.update(self.table, plan.routes["rows"], grads.reshape(len(plan), -1))
+        flat_grads = grads.reshape(len(plan), -1)
+        if self.fused:
+            self.fused_apply(self.table, self._optimizer, plan.routes["scatter"], flat_grads)
+        else:
+            self._optimizer.update(self.table, plan.routes["rows"], flat_grads, self._kernels())
         self._step += 1
 
     def memory_floats(self) -> int:

@@ -26,6 +26,53 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels.ops import segment_boundaries, stable_order
+
+
+@dataclass
+class ScatterPlan:
+    """Fully-resolved scatter of one batch's gradients into table rows.
+
+    Built once per routing plan and consumed by the fused
+    ``apply_gradients`` path: a segment sum over ``perm``/``starts``
+    collapses the per-lookup gradients into one summed row per unique
+    destination, and a single scatter applies them to ``rows``.
+
+    Attributes
+    ----------
+    perm:
+        ``(n,)`` int64 permutation of gradient positions, ordered so every
+        destination row's contributions are adjacent.  Within a segment the
+        order is batch order, which is what makes the fused segment sum
+        bit-exact with the unfused per-table update.
+    starts:
+        ``(k,)`` int64 first position of each segment in ``perm``.
+    rows:
+        ``(k,)`` int64 unique destination row per segment, parallel to
+        ``starts``.
+    """
+
+    perm: np.ndarray
+    starts: np.ndarray
+    rows: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.rows.shape[0])
+
+    @classmethod
+    def from_rows(cls, rows_per_position: np.ndarray) -> "ScatterPlan":
+        """Build the scatter for one destination row per gradient position.
+
+        Handles the degenerate cases the fused path must survive: an empty
+        batch (empty scatter), duplicate ids (positions collapse into one
+        segment, batch order preserved), and an all-miss batch where the
+        caller pre-filtered every position away.
+        """
+        rows_per_position = np.asarray(rows_per_position, dtype=np.int64).reshape(-1)
+        perm = stable_order(rows_per_position)
+        rows, starts = segment_boundaries(rows_per_position[perm])
+        return cls(perm=perm, starts=starts, rows=rows)
+
 
 @dataclass
 class RoutingPlan:
@@ -40,7 +87,9 @@ class RoutingPlan:
         ``ids_shape + (dim,)``).
     routes:
         Backend-specific arrays — e.g. ``{"rows": ...}`` for a hash table,
-        ``{"hot_mask": ..., "payloads": ..., "shared_rows": ...}`` for CAFE.
+        ``{"hot_mask": ..., "payloads": ..., "shared_rows": ...}`` for CAFE,
+        plus a fully-resolved ``"scatter"`` :class:`ScatterPlan` on fused
+        backends.
     token:
         Value of the owning layer's routing token when the plan was built.
     """

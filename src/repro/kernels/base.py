@@ -1,0 +1,214 @@
+"""Kernel backends: the three primitives of the fused embedding hot path.
+
+A :class:`KernelBackend` supplies the numeric inner loops of one training
+step — segment-summing per-lookup gradients, scattering the summed update
+(with optimizer state) into a table, and accumulating importance scores into
+sketch slots.  Everything above this layer (routing plans, admission,
+eviction) is index bookkeeping; everything below it is a handful of dense
+array passes, which is exactly the part an accelerated implementation (numba
+today, cupy tomorrow) can replace wholesale.
+
+Backends register by name through :func:`register_kernel_backend`; the
+pure-numpy reference implementation is always present and is the default, so
+tests and CI stay hardware- and dependency-independent.  ``"auto"`` resolves
+to the fastest *available* backend (currently: numba when importable, numpy
+otherwise).  Availability is probed lazily through each registration's
+``available`` predicate, which is how soft dependencies stay soft: importing
+this package never imports numba.
+
+Bit-exactness contract: the numpy backend is the reference.  Two runs that
+use the *same* backend are bit-exact with each other (the fused and unfused
+embedding paths share one backend instance, so fused-vs-unfused parity holds
+for every backend); different backends agree only to floating-point
+tolerance, because summation order differs between numpy's pairwise
+``reduceat`` and a sequential loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The name every selection falls back to; always registered, always available.
+DEFAULT_KERNEL_BACKEND = "numpy"
+
+#: Pseudo-name resolving to the fastest available backend.
+AUTO_KERNEL_BACKEND = "auto"
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """The three fused primitives of one embedding training step."""
+
+    name: str
+
+    def segment_sum(
+        self, values: np.ndarray, perm: np.ndarray, starts: np.ndarray
+    ) -> np.ndarray:
+        """Sum ``values[perm]`` over the segments delimited by ``starts``.
+
+        ``values`` is ``(n, d)`` (or ``(n,)``), ``perm`` indexes rows of
+        ``values`` ordered so each destination's contributions are adjacent,
+        and ``starts`` holds each segment's first position in ``perm``.
+        Returns one summed row per segment, shape ``(len(starts), d)``.
+        Within a segment the summation order is ``perm`` order.
+        """
+        ...
+
+    def fused_scatter_apply(
+        self,
+        table: np.ndarray,
+        rows: np.ndarray,
+        summed: np.ndarray,
+        lr: float,
+        accumulator: np.ndarray | None = None,
+        eps: float = 0.0,
+    ) -> None:
+        """Apply one optimizer step to ``table[rows]`` in place.
+
+        ``rows`` are unique.  With ``accumulator=None`` this is sparse SGD
+        (``table[rows] -= lr * summed``); with a per-row accumulator it is
+        row-wise Adagrad: the accumulator rows gain the mean squared summed
+        gradient and scale the update, all in one fused pass.
+        """
+        ...
+
+    def sketch_insert(
+        self, scores: np.ndarray, slots: np.ndarray, add: np.ndarray
+    ) -> None:
+        """Add ``add`` into ``scores[slots]`` (flat sketch score array).
+
+        ``slots`` are unique flat indices (one per recorded feature in the
+        batch), so the scatter-add has no collisions to resolve.
+        """
+        ...
+
+
+class _KernelRegistration:
+    __slots__ = ("name", "factory", "available", "description", "_instance")
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[], KernelBackend],
+        available: Callable[[], bool],
+        description: str,
+    ):
+        self.name = name
+        self.factory = factory
+        self.available = available
+        self.description = description
+        self._instance: KernelBackend | None = None
+
+    def instance(self) -> KernelBackend:
+        if self._instance is None:
+            self._instance = self.factory()
+        return self._instance
+
+
+_KERNEL_BACKENDS: dict[str, _KernelRegistration] = {}
+#: Resolution order for ``"auto"``: first available name wins.
+_AUTO_PREFERENCE: list[str] = []
+
+
+def register_kernel_backend(
+    name: str,
+    factory: Callable[[], KernelBackend],
+    *,
+    available: Callable[[], bool] | None = None,
+    description: str = "",
+    prefer: bool = False,
+    overwrite: bool = False,
+) -> None:
+    """Register a kernel backend under ``name``.
+
+    ``factory`` builds the backend on first use; ``available`` gates it (a
+    soft dependency probe — return False and the name reports unavailable
+    instead of raising at import).  ``prefer=True`` puts the backend ahead of
+    the numpy reference in ``"auto"`` resolution.
+    """
+    lowered = name.lower()
+    if lowered == AUTO_KERNEL_BACKEND:
+        raise ConfigurationError(f"'{AUTO_KERNEL_BACKEND}' is reserved for auto-selection")
+    if not overwrite and lowered in _KERNEL_BACKENDS:
+        raise ConfigurationError(
+            f"kernel backend '{lowered}' is already registered; pass overwrite=True"
+        )
+    _KERNEL_BACKENDS[lowered] = _KernelRegistration(
+        lowered, factory, available or (lambda: True), description
+    )
+    if lowered in _AUTO_PREFERENCE:
+        _AUTO_PREFERENCE.remove(lowered)
+    if prefer:
+        _AUTO_PREFERENCE.insert(0, lowered)
+    else:
+        _AUTO_PREFERENCE.append(lowered)
+
+
+def unregister_kernel_backend(name: str) -> None:
+    """Remove a registered kernel backend (mainly for tests)."""
+    lowered = name.lower()
+    _KERNEL_BACKENDS.pop(lowered, None)
+    if lowered in _AUTO_PREFERENCE:
+        _AUTO_PREFERENCE.remove(lowered)
+
+
+def kernel_backend_available(name: str) -> bool:
+    """Whether ``name`` is registered and its soft dependencies import."""
+    registration = _KERNEL_BACKENDS.get(name.lower())
+    return registration is not None and bool(registration.available())
+
+
+def available_kernel_backends() -> tuple[str, ...]:
+    """Names of the registered backends whose dependencies are available."""
+    return tuple(
+        name for name, reg in _KERNEL_BACKENDS.items() if reg.available()
+    )
+
+
+def resolve_kernel_backend_name(name: str) -> str:
+    """Canonical backend name for ``name`` (resolving ``"auto"``).
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names and
+    for known names whose soft dependency is missing, naming the available
+    alternatives — a config typo should fail loudly, not fall back silently.
+    """
+    lowered = name.lower()
+    if lowered == AUTO_KERNEL_BACKEND:
+        for candidate in _AUTO_PREFERENCE:
+            if kernel_backend_available(candidate):
+                return candidate
+        return DEFAULT_KERNEL_BACKEND
+    registration = _KERNEL_BACKENDS.get(lowered)
+    if registration is None:
+        raise ConfigurationError(
+            f"unknown kernel backend '{name}'; registered: "
+            f"{sorted(_KERNEL_BACKENDS)} (or '{AUTO_KERNEL_BACKEND}')"
+        )
+    if not registration.available():
+        raise ConfigurationError(
+            f"kernel backend '{name}' is registered but unavailable (missing "
+            f"dependency); available: {sorted(available_kernel_backends())}"
+        )
+    return lowered
+
+
+def get_kernel_backend(name: str = DEFAULT_KERNEL_BACKEND) -> KernelBackend:
+    """The backend instance for ``name`` (``"auto"`` picks the fastest available)."""
+    return _KERNEL_BACKENDS[resolve_kernel_backend_name(name)].instance()
+
+
+def kernel_registry_summary() -> list[dict[str, Any]]:
+    """One row per registered kernel backend (for ``describe()`` and docs)."""
+    return [
+        {
+            "name": reg.name,
+            "description": reg.description,
+            "available": bool(reg.available()),
+            "optional": reg.name != DEFAULT_KERNEL_BACKEND,
+        }
+        for reg in _KERNEL_BACKENDS.values()
+    ]

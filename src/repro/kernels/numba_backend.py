@@ -1,0 +1,121 @@
+"""Optional numba kernel backend — sequential compiled loops.
+
+numba is a *soft* dependency: this module imports it, so it must only be
+imported after :func:`numba_available` (or the registry's availability probe)
+says it is present.  The loops are deliberately sequential and cache-compiled;
+they agree with the numpy reference to floating-point tolerance, not bitwise
+(summation order differs from ``np.add.reduceat``'s pairwise blocks).
+"""
+
+from __future__ import annotations
+
+from importlib.util import find_spec
+
+import numpy as np
+
+
+def numba_available() -> bool:
+    """Soft-dependency probe; true when ``import numba`` would succeed."""
+    try:
+        return find_spec("numba") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _compiled():
+    import numba
+
+    @numba.njit(cache=True)
+    def segment_sum_2d(values, perm, starts, out):
+        num_segments = starts.shape[0]
+        n = perm.shape[0]
+        d = values.shape[1]
+        for seg in range(num_segments):
+            lo = starts[seg]
+            hi = starts[seg + 1] if seg + 1 < num_segments else n
+            for pos in range(lo, hi):
+                src = perm[pos]
+                for j in range(d):
+                    out[seg, j] += values[src, j]
+
+    @numba.njit(cache=True)
+    def scatter_sgd(table, rows, summed, lr):
+        d = table.shape[1]
+        for i in range(rows.shape[0]):
+            row = rows[i]
+            for j in range(d):
+                table[row, j] -= lr * summed[i, j]
+
+    @numba.njit(cache=True)
+    def scatter_adagrad(table, rows, summed, lr, accumulator, eps):
+        d = table.shape[1]
+        for i in range(rows.shape[0]):
+            row = rows[i]
+            sq = 0.0
+            for j in range(d):
+                sq += summed[i, j] * summed[i, j]
+            accumulator[row] += sq / d
+            scale = lr / (np.sqrt(accumulator[row]) + eps)
+            for j in range(d):
+                table[row, j] -= scale * summed[i, j]
+
+    @numba.njit(cache=True)
+    def sketch_insert(scores, slots, add):
+        for i in range(slots.shape[0]):
+            scores[slots[i]] += add[i]
+
+    return segment_sum_2d, scatter_sgd, scatter_adagrad, sketch_insert
+
+
+class NumbaKernelBackend:
+    """Compiled sequential kernels; numerically close to numpy, not bitwise."""
+
+    name = "numba"
+
+    def __init__(self):
+        (
+            self._segment_sum_2d,
+            self._scatter_sgd,
+            self._scatter_adagrad,
+            self._sketch_insert,
+        ) = _compiled()
+
+    def segment_sum(
+        self, values: np.ndarray, perm: np.ndarray, starts: np.ndarray
+    ) -> np.ndarray:
+        squeeze = values.ndim == 1
+        if squeeze:
+            values = values[:, None]
+        out = np.zeros((starts.shape[0], values.shape[1]), dtype=values.dtype)
+        if starts.shape[0]:
+            self._segment_sum_2d(
+                np.ascontiguousarray(values),
+                np.ascontiguousarray(perm),
+                np.ascontiguousarray(starts),
+                out,
+            )
+        return out[:, 0] if squeeze else out
+
+    def fused_scatter_apply(
+        self,
+        table: np.ndarray,
+        rows: np.ndarray,
+        summed: np.ndarray,
+        lr: float,
+        accumulator: np.ndarray | None = None,
+        eps: float = 0.0,
+    ) -> None:
+        if rows.shape[0] == 0:
+            return
+        rows = np.ascontiguousarray(rows)
+        summed = np.ascontiguousarray(summed)
+        if accumulator is None:
+            self._scatter_sgd(table, rows, summed, float(lr))
+        else:
+            self._scatter_adagrad(table, rows, summed, float(lr), accumulator, float(eps))
+
+    def sketch_insert(
+        self, scores: np.ndarray, slots: np.ndarray, add: np.ndarray
+    ) -> None:
+        if slots.shape[0]:
+            self._sketch_insert(scores, np.ascontiguousarray(slots), np.ascontiguousarray(add))

@@ -110,18 +110,50 @@ class Adam(Optimizer):
 # Row-wise (sparse) optimizers for embedding storages
 # --------------------------------------------------------------------------- #
 class RowOptimizer:
-    """Applies updates to selected rows of a raw parameter matrix."""
+    """Applies updates to selected rows of a raw parameter matrix.
+
+    The numeric inner loops — segment sum over duplicate rows, then the
+    optimizer scatter — are delegated to a
+    :class:`~repro.kernels.KernelBackend`, so the same optimizer runs on the
+    pure-numpy reference kernels or an accelerated backend unchanged.
+    """
 
     def __init__(self, lr: float):
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = float(lr)
 
-    def update(self, table: np.ndarray, rows: np.ndarray, grads: np.ndarray) -> None:
+    def update(
+        self, table: np.ndarray, rows: np.ndarray, grads: np.ndarray, kernels=None
+    ) -> None:
         """Apply the update ``table[rows] -= f(grads)`` in place.
 
         ``rows`` may contain duplicates; gradients for duplicate rows are
-        summed before the update (scatter-add semantics).
+        summed before the update (scatter-add semantics, batch order within
+        each row).  This is the unfused entry point: it builds the scatter
+        from scratch.  Callers that already hold a
+        :class:`~repro.embeddings.plan.ScatterPlan` should segment-sum and
+        call :meth:`fused_apply` directly instead.
+        """
+        from repro.embeddings.plan import ScatterPlan
+
+        if kernels is None:
+            from repro.kernels import get_kernel_backend
+
+            kernels = get_kernel_backend()
+        scatter = ScatterPlan.from_rows(np.asarray(rows, dtype=np.int64))
+        summed = kernels.segment_sum(grads, scatter.perm, scatter.starts)
+        self.fused_apply(table, scatter.rows, summed, kernels)
+
+    def fused_apply(
+        self, table: np.ndarray, rows: np.ndarray, summed: np.ndarray, kernels
+    ) -> None:
+        """Apply pre-summed per-row gradients to unique ``rows`` in place.
+
+        This is the fused hot-path entry point: the caller has already
+        collapsed duplicate rows with a kernel segment sum, so the only work
+        left is one optimizer scatter (plus per-row state, updated in the
+        same kernel pass).
         """
         raise NotImplementedError  # pragma: no cover - abstract
 
@@ -157,9 +189,10 @@ class RowOptimizer:
 class RowSGD(RowOptimizer):
     """Sparse SGD over embedding rows."""
 
-    def update(self, table: np.ndarray, rows: np.ndarray, grads: np.ndarray) -> None:
-        unique_rows, summed = self._deduplicate(np.asarray(rows, dtype=np.int64), grads)
-        table[unique_rows] -= self.lr * summed
+    def fused_apply(
+        self, table: np.ndarray, rows: np.ndarray, summed: np.ndarray, kernels
+    ) -> None:
+        kernels.fused_scatter_apply(table, rows, summed, self.lr)
 
 
 class RowAdagrad(RowOptimizer):
@@ -181,12 +214,13 @@ class RowAdagrad(RowOptimizer):
         if self._accumulator is None or self._accumulator.shape[0] != table.shape[0]:
             self._accumulator = np.zeros(table.shape[0], dtype=table.dtype)
 
-    def update(self, table: np.ndarray, rows: np.ndarray, grads: np.ndarray) -> None:
+    def fused_apply(
+        self, table: np.ndarray, rows: np.ndarray, summed: np.ndarray, kernels
+    ) -> None:
         self._ensure_state(table)
-        unique_rows, summed = self._deduplicate(np.asarray(rows, dtype=np.int64), grads)
-        self._accumulator[unique_rows] += (summed**2).mean(axis=1)
-        scale = self.lr / (np.sqrt(self._accumulator[unique_rows]) + self.eps)
-        table[unique_rows] -= scale[:, None] * summed
+        kernels.fused_scatter_apply(
+            table, rows, summed, self.lr, accumulator=self._accumulator, eps=self.eps
+        )
 
     def reset_rows(self, rows: np.ndarray) -> None:
         if self._accumulator is not None:

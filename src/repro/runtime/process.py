@@ -271,6 +271,11 @@ class _ShardHost(_UnitHost):
     def op_step(self) -> int:
         return int(self.unit.step())
 
+    def op_set_kernel_backend(self, name: str) -> str | None:
+        if hasattr(self.unit, "set_kernel_backend"):
+            return self.unit.set_kernel_backend(name)
+        return None
+
 
 class _GroupHost(_UnitHost):
     """Hosts one :class:`~repro.store.table_group.TableGroup` (backend +
@@ -335,6 +340,11 @@ class _GroupHost(_UnitHost):
 
     def op_step(self) -> int:
         return int(self.unit.backend.step())
+
+    def op_set_kernel_backend(self, name: str) -> str | None:
+        if hasattr(self.unit.backend, "set_kernel_backend"):
+            return self.unit.backend.set_kernel_backend(name)
+        return None
 
 
 def _safe_send(conn, payload: tuple) -> None:

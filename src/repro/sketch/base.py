@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels.ops import segment_boundaries, stable_order
+
 
 class Sketch:
     """Base class for frequency / importance sketches over integer keys.
@@ -47,8 +49,16 @@ class Sketch:
 
     @staticmethod
     def aggregate_duplicates(keys: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Sum scores of duplicate keys; returns unique keys and their totals."""
-        unique_keys, inverse = np.unique(keys, return_inverse=True)
-        totals = np.zeros(unique_keys.shape[0], dtype=np.float64)
-        np.add.at(totals, inverse, scores)
+        """Sum scores of duplicate keys; returns unique keys and their totals.
+
+        Totals are formed by a stable key sort followed by a segment sum
+        (``np.add.reduceat``), summing each key's scores in input order.
+        This is the same aggregation the fused embedding path performs from
+        its routing plan, which keeps the two bit-exact with each other.
+        """
+        if keys.shape[0] == 0:
+            return keys, scores
+        order = stable_order(keys)
+        unique_keys, starts = segment_boundaries(keys[order])
+        totals = np.add.reduceat(scores[order], starts)
         return unique_keys, totals

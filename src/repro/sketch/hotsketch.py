@@ -26,11 +26,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.ops import stable_order
 from repro.sketch.base import Sketch
 from repro.utils.hashing import hash_to_bucket
 
 EMPTY_KEY = np.int64(-1)
 NO_PAYLOAD = np.int64(-1)
+
+#: Word views for per-row boolean reductions, keyed by row width in bytes.
+_ROW_VIEW_DTYPES = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+def _row_any(matrix: np.ndarray) -> np.ndarray:
+    """``matrix.any(axis=1)`` for a small-width C-contiguous bool matrix.
+
+    numpy's boolean ``any`` reduction over a tiny trailing axis costs ~10x a
+    flat compare; viewing each row's bytes as one unsigned word and testing
+    it against zero gives the same answer in a single vectorized pass.
+    Falls back to ``any`` for widths without a matching word dtype.
+    """
+    dtype = _ROW_VIEW_DTYPES.get(matrix.shape[1] if matrix.ndim == 2 else 0)
+    if dtype is None or not matrix.flags.c_contiguous:
+        return matrix.any(axis=1)
+    return matrix.view(dtype).ravel() != 0
 
 
 @dataclass
@@ -120,11 +138,50 @@ class HotSketch(Sketch):
         buckets = hash_to_bucket(keys, self.num_buckets, seed=self.seed)
 
         # Phase 1 (vectorized): add scores of features already present.
-        slot_match = self.keys[buckets] == keys[:, None]  # (n, c)
-        found = slot_match.any(axis=1)
+        slot_match = np.take(self.keys, buckets, axis=0) == keys[:, None]  # (n, c)
+        found = _row_any(slot_match)
         if found.any():
             slot_idx = slot_match[found].argmax(axis=1)
             np.add.at(self.scores, (buckets[found], slot_idx), scores[found])
+
+        missing = ~found
+        if not missing.any():
+            return EvictionBatch(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        return self._insert_misses(keys[missing], scores[missing], buckets[missing])
+
+    def insert_routed(
+        self,
+        keys: np.ndarray,
+        scores: np.ndarray,
+        found: np.ndarray,
+        buckets: np.ndarray,
+        slots: np.ndarray,
+        kernels=None,
+    ) -> EvictionBatch:
+        """Insert pre-aggregated, pre-located ``(key, score)`` pairs.
+
+        The fused embedding path already holds the locate results of the
+        current batch in its routing plan (and the plan token guarantees the
+        sketch has not mutated since they were taken), so re-probing here
+        would be pure waste.  ``keys`` must be unique, sorted ascending, with
+        summed float64 scores; ``(found, buckets, slots)`` must equal
+        ``self.locate(keys)`` against the sketch's current state.  Produces
+        bit-identical state to :meth:`insert` on the equivalent raw stream.
+
+        ``kernels`` is an optional :class:`~repro.kernels.KernelBackend`
+        whose ``sketch_insert`` applies the found-slot score adds.
+        """
+        if keys.shape[0] == 0:
+            return EvictionBatch(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        self.total_insertions += int(keys.shape[0])
+
+        if found.any():
+            lin = buckets[found] * self.slots_per_bucket + slots[found]
+            add = scores[found]
+            if kernels is None:
+                self.scores.ravel()[lin] += add
+            else:
+                kernels.sketch_insert(self.scores.ravel(), lin, add)
 
         missing = ~found
         if not missing.any():
@@ -141,44 +198,70 @@ class HotSketch(Sketch):
         round touches distinct buckets and is fully vectorized (segmented
         empty-slot claim, then argmin replacement for full buckets).  The
         number of rounds is the maximum number of misses sharing one bucket
-        in this batch — typically 1 — not the number of keys.
+        in this batch — typically 1 — not the number of keys.  The steady
+        state (no empty slots, nothing reportable rarely skipped) takes the
+        branch-free fast paths: round 0 selects via the segment starts
+        directly, and all slot state is addressed through flat views.
         """
-        order = np.argsort(buckets, kind="stable")
+        c = self.slots_per_bucket
+        order = stable_order(buckets)
         keys, scores, buckets = keys[order], scores[order], buckets[order]
-        # Rank of each miss within its bucket group.
-        new_segment = np.empty(buckets.shape[0], dtype=bool)
+        n = buckets.shape[0]
+        new_segment = np.empty(n, dtype=bool)
         new_segment[0] = True
         np.not_equal(buckets[1:], buckets[:-1], out=new_segment[1:])
-        segment_starts = np.nonzero(new_segment)[0]
-        segment_ids = np.cumsum(new_segment) - 1
-        ranks = np.arange(buckets.shape[0]) - segment_starts[segment_ids]
+        segment_starts = np.flatnonzero(new_segment)
+
+        # Misses sharing a bucket sit consecutively after the sort, so the
+        # ``r``-th miss of each segment lives at ``segment_starts + r`` where
+        # the segment is long enough; no per-element rank array is needed.
+        counts = None
+        rounds = 1
+        if segment_starts.shape[0] != n:
+            counts = np.diff(segment_starts, append=n)
+            rounds = int(counts.max())
+
+        flat_keys = self.keys.ravel()
+        flat_scores = self.scores.ravel()
+        flat_payloads = self.payloads.ravel()
 
         evicted_keys: list[np.ndarray] = []
         evicted_payloads: list[np.ndarray] = []
-        for rank in range(int(ranks.max()) + 1):
-            selected = ranks == rank
-            bucket = buckets[selected]  # distinct buckets within one round
-            key = keys[selected]
-            score = scores[selected]
+        for rank in range(rounds):
+            sel = segment_starts if rank == 0 else segment_starts[counts > rank] + rank
+            bucket = buckets[sel]  # distinct buckets within one round
+            score = scores[sel]
 
-            empty = self.keys[bucket] == EMPTY_KEY  # (m, c)
-            has_empty = empty.any(axis=1)
+            empty = np.take(self.keys, bucket, axis=0) == EMPTY_KEY  # (m, c)
+            has_empty = _row_any(empty)
+            any_empty = bool(has_empty.any())
             # First empty slot where available, minimum-score slot otherwise.
-            slot = np.where(has_empty, empty.argmax(axis=1), self.scores[bucket].argmin(axis=1))
+            if any_empty:
+                slot = np.where(
+                    has_empty,
+                    empty.argmax(axis=1),
+                    np.take(self.scores, bucket, axis=0).argmin(axis=1),
+                )
+            else:
+                slot = np.take(self.scores, bucket, axis=0).argmin(axis=1)
+            lin = bucket * c + slot
 
-            replaced = ~has_empty
-            old_payloads = self.payloads[bucket, slot]
-            reportable = replaced & (old_payloads != NO_PAYLOAD)
+            old_payloads = flat_payloads[lin]
+            if any_empty:
+                reportable = ~has_empty & (old_payloads != NO_PAYLOAD)
+            else:
+                reportable = old_payloads != NO_PAYLOAD
             if reportable.any():
-                evicted_keys.append(self.keys[bucket[reportable], slot[reportable]].copy())
+                evicted_keys.append(flat_keys[lin[reportable]].copy())
                 evicted_payloads.append(old_payloads[reportable].copy())
 
             # SpaceSaving: a replacement inherits the displaced minimum score.
-            self.scores[bucket, slot] = np.where(
-                has_empty, score, self.scores[bucket, slot] + score
-            )
-            self.keys[bucket, slot] = key
-            self.payloads[bucket, slot] = NO_PAYLOAD
+            if any_empty:
+                flat_scores[lin] = np.where(has_empty, score, flat_scores[lin] + score)
+            else:
+                flat_scores[lin] += score
+            flat_keys[lin] = keys[sel]
+            flat_payloads[lin] = NO_PAYLOAD
 
         if not evicted_keys:
             return EvictionBatch(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
@@ -189,9 +272,9 @@ class HotSketch(Sketch):
         keys = np.asarray(keys, dtype=np.int64)
         flat = keys.reshape(-1)
         buckets = hash_to_bucket(flat, self.num_buckets, seed=self.seed)
-        slot_match = self.keys[buckets] == flat[:, None]
-        scores = np.where(slot_match, self.scores[buckets], 0.0).max(axis=1)
-        scores = np.where(slot_match.any(axis=1), scores, 0.0)
+        slot_match = np.take(self.keys, buckets, axis=0) == flat[:, None]
+        scores = np.where(slot_match, np.take(self.scores, buckets, axis=0), 0.0).max(axis=1)
+        scores = np.where(_row_any(slot_match), scores, 0.0)
         return scores.reshape(keys.shape)
 
     def locate(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -203,8 +286,8 @@ class HotSketch(Sketch):
         """
         keys = np.asarray(keys, dtype=np.int64).reshape(-1)
         buckets = hash_to_bucket(keys, self.num_buckets, seed=self.seed)
-        slot_match = self.keys[buckets] == keys[:, None]
-        found = slot_match.any(axis=1)
+        slot_match = np.take(self.keys, buckets, axis=0) == keys[:, None]
+        found = _row_any(slot_match)
         slots = slot_match.argmax(axis=1)
         return found, buckets, slots
 

@@ -1,0 +1,233 @@
+"""Fused-vs-unfused bit-exactness for the planned train-step hot path.
+
+The fused path (one segment-sum + one scatter per table per step) must be a
+pure refactor of the unfused per-region path: identical tables, identical
+optimizer state, identical sketch contents, down to the last bit.  These
+tests drive matched fixed-seed training runs with ``fused`` toggled and
+compare ``state_dict`` plus a probe lookup bitwise — per embedding scheme,
+through the sharded store with every executor, and through grouped tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import DatasetSchema, FieldSchema
+from repro.embeddings import create_embedding, create_embedding_store
+from repro.kernels.numba_backend import numba_available
+from repro.runtime.executor import create_executor
+from repro.store import ShardedEmbeddingStore, TableGroupStore
+
+HAS_NUMBA = numba_available()
+
+NUM_FEATURES = 5000
+DIM = 8
+STEPS = 40
+BATCH = 96
+
+
+def make_batches(seed, steps=STEPS, batch=BATCH, num_features=NUM_FEATURES):
+    """Deterministic (ids, grads) stream with a zipf-ish head so the CAFE
+    hot path, admissions and evictions all fire."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(steps):
+        head = rng.integers(0, 50, size=batch // 2)
+        tail = rng.integers(0, num_features, size=batch - head.shape[0])
+        ids = np.concatenate([head, tail])
+        rng.shuffle(ids)
+        grads = rng.standard_normal((batch, DIM)).astype(np.float32)
+        batches.append((ids, grads))
+    return batches
+
+
+def train(emb, batches):
+    for ids, grads in batches:
+        emb.lookup(ids)
+        emb.apply_gradients(ids, grads)
+
+
+def set_fused(target, value):
+    """Toggle the fused hot path on an embedding, a sharded store's shards,
+    or every group backend of a grouped store."""
+    if isinstance(target, ShardedEmbeddingStore):
+        for shard in target.shards:
+            set_fused(shard, value)
+    elif isinstance(target, TableGroupStore):
+        for group in target._groups:
+            set_fused(group.backend, value)
+    else:
+        assert hasattr(target, "fused"), type(target).__name__
+        target.fused = value
+
+
+def assert_states_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+
+PROBE = np.arange(0, NUM_FEATURES, 37)
+
+
+# --------------------------------------------------------------------------- #
+# Per-scheme parity
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("method", ["cafe", "cafe_ml", "hash", "full"])
+@pytest.mark.parametrize("optimizer", ["sgd", "adagrad"])
+def test_embedding_fused_matches_unfused(method, optimizer):
+    ratio = 1.0 if method == "full" else 10.0
+    runs = []
+    for fused in (True, False):
+        emb = create_embedding(
+            method,
+            num_features=NUM_FEATURES,
+            dim=DIM,
+            compression_ratio=ratio,
+            optimizer=optimizer,
+            learning_rate=0.05,
+            rng=7,
+        )
+        set_fused(emb, fused)
+        train(emb, make_batches(seed=11))
+        runs.append(emb)
+    fused_emb, unfused_emb = runs
+    assert_states_equal(fused_emb.state_dict(), unfused_emb.state_dict())
+    np.testing.assert_array_equal(fused_emb.lookup(PROBE), unfused_emb.lookup(PROBE))
+
+
+# --------------------------------------------------------------------------- #
+# Through the sharded store, all three executors
+# --------------------------------------------------------------------------- #
+def build_store(method, executor, seed=3, **kwargs):
+    return ShardedEmbeddingStore.build(
+        method,
+        num_features=NUM_FEATURES,
+        dim=DIM,
+        num_shards=2,
+        compression_ratio=10.0,
+        seed=seed,
+        executor=executor,
+        optimizer="adagrad",
+        learning_rate=0.05,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("method", ["cafe", "hash"])
+def test_sharded_store_fused_matches_unfused(method):
+    batches = make_batches(seed=23)
+    fused_store = build_store(method, create_executor("serial"))
+    unfused_store = build_store(method, create_executor("serial"))
+    set_fused(unfused_store, False)
+    train(fused_store, batches)
+    train(unfused_store, batches)
+    assert_states_equal(fused_store.state_dict(), unfused_store.state_dict())
+    np.testing.assert_array_equal(
+        fused_store.lookup(PROBE), unfused_store.lookup(PROBE)
+    )
+
+
+@pytest.mark.parametrize("kind", ["threads", "processes"])
+def test_sharded_store_executors_match_serial(kind):
+    """Executor choice must not change a bit — combined with the test above
+    this closes the chain: unfused == fused-serial == fused-{kind}."""
+    batches = make_batches(seed=31)
+    serial_store = build_store("cafe", create_executor("serial"))
+    train(serial_store, batches)
+    executor = create_executor(kind, max_workers=2)
+    try:
+        store = build_store("cafe", executor)
+        train(store, batches)
+        assert_states_equal(store.state_dict(), serial_store.state_dict())
+        np.testing.assert_array_equal(store.lookup(PROBE), serial_store.lookup(PROBE))
+    finally:
+        executor.close()
+
+
+# --------------------------------------------------------------------------- #
+# Through grouped tables (heterogeneous per-field backends)
+# --------------------------------------------------------------------------- #
+def hetero_schema():
+    return DatasetSchema(
+        name="parity",
+        fields=[
+            FieldSchema("tiny", 30),
+            FieldSchema("mid", 900),
+            FieldSchema("tail_a", 4000),
+            FieldSchema("tail_b", 7000),
+        ],
+        num_numerical=1,
+        embedding_dim=DIM,
+        num_days=1,
+        zipf_exponent=1.2,
+    )
+
+
+def grouped_batches(schema, seed, steps=25, batch=64):
+    rng = np.random.default_rng(seed)
+    cards = [field.cardinality for field in schema.fields]
+    offsets = np.concatenate([[0], np.cumsum(cards)[:-1]])
+    batches = []
+    for _ in range(steps):
+        ids = np.stack(
+            [
+                offset + rng.integers(0, card, size=batch)
+                for offset, card in zip(offsets, cards)
+            ],
+            axis=1,
+        )
+        grads = rng.standard_normal((batch, len(cards), DIM)).astype(np.float32)
+        batches.append((ids, grads))
+    return batches
+
+
+def test_grouped_store_fused_matches_unfused():
+    schema = hetero_schema()
+    spec = "full:tiny,cafe[cr=16]:tail,hash[cr=8]:mid"
+    batches = grouped_batches(schema, seed=41)
+    stores = []
+    for fused in (True, False):
+        store = create_embedding_store(
+            schema, spec, optimizer="adagrad", learning_rate=0.05, seed=5
+        )
+        assert isinstance(store, TableGroupStore)
+        set_fused(store, fused)
+        train(store, batches)
+        stores.append(store)
+    fused_store, unfused_store = stores
+    assert_states_equal(fused_store.state_dict(), unfused_store.state_dict())
+    probe = batches[0][0]
+    np.testing.assert_array_equal(
+        fused_store.lookup(probe), unfused_store.lookup(probe)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Kernel-backend parity at the embedding level
+# --------------------------------------------------------------------------- #
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+def test_numba_backend_matches_numpy_at_embedding_level():
+    batches = make_batches(seed=53)
+    runs = []
+    for kernels in ("numpy", "numba"):
+        emb = create_embedding(
+            "cafe",
+            num_features=NUM_FEATURES,
+            dim=DIM,
+            compression_ratio=10.0,
+            optimizer="adagrad",
+            learning_rate=0.05,
+            rng=7,
+            kernels=kernels,
+        )
+        train(emb, batches)
+        runs.append(emb)
+    # Different backends agree to float tolerance, not bitwise (summation
+    # order differs); routing/admission decisions must still be identical.
+    a, b = (emb.state_dict() for emb in runs)
+    assert sorted(a) == sorted(b)
+    for key in a:
+        if np.issubdtype(np.asarray(a[key]).dtype, np.floating):
+            np.testing.assert_allclose(a[key], b[key], rtol=1e-4, atol=1e-5, err_msg=key)
+        else:
+            np.testing.assert_array_equal(a[key], b[key], err_msg=key)
