@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Assert the acceptance gates recorded in BENCH_embedding.json.
 
-Two gates are checked against the most recent full (non-smoke) run:
+Three gates are checked against the most recent full (non-smoke) run:
 
 * **shard scaling** (written by ``repro.bench.store_bench.
   bench_shard_scaling``): the process-executor speedup of the hash backend
@@ -18,6 +18,13 @@ Two gates are checked against the most recent full (non-smoke) run:
   0.7x the *pre-fusion* hash baseline's steps/s.  Single-process, so the
   threshold is unconditional; the companion fused-hash ratio is printed for
   context but not gated.
+
+* **delta publish** (written by ``repro.bench.runtime_bench.
+  bench_replica_serving``): publishing a delta snapshot to a replica must
+  cost at most 0.5x the p50 of publishing the always-full equivalent at
+  the same serving-table scale and identical training traffic — the
+  replicated tier's reason to exist.  Single-process and deterministic in
+  shape, so the threshold is unconditional.
 
 No full (non-smoke) run recorded -> exit 1.
 
@@ -52,6 +59,15 @@ CAFE_REQUIRED_KEYS = (
     "ratio_vs_fused_hash",
 )
 
+DELTA_REQUIRED_KEYS = (
+    "metric",
+    "threshold",
+    "measured",
+    "passed",
+    "full_p50_ms",
+    "delta_p50_ms",
+)
+
 
 def full_run(envelope: dict) -> dict | None:
     """The most recent non-smoke report in the envelope, or None."""
@@ -77,6 +93,31 @@ def check_cafe_gate(run: dict) -> int:
         f"{gate['threshold']} (vs fused hash: {gate['ratio_vs_fused_hash']})"
     )
     if gate["measured"] is None or gate["measured"] < gate["threshold"]:
+        print(f"FAIL: {label}")
+        return 1
+    print(f"PASS: {label}")
+    return 0
+
+
+def check_delta_gate(run: dict) -> int:
+    """The delta-publish latency gate: unconditional (single-process)."""
+    gate = run.get("results", {}).get("replica_serving", {}).get(
+        "delta_publish", {}
+    ).get("gate")
+    if not isinstance(gate, dict):
+        print("FAIL: the full run's replica_serving section has no "
+              "delta_publish gate object")
+        return 1
+    missing = [key for key in DELTA_REQUIRED_KEYS if key not in gate]
+    if missing:
+        print(f"FAIL: delta gate object is missing keys {missing}")
+        return 1
+    label = (
+        f"{gate['metric']}: measured {gate['measured']} vs threshold "
+        f"{gate['threshold']} (delta {gate['delta_p50_ms']} ms vs full "
+        f"{gate['full_p50_ms']} ms p50)"
+    )
+    if gate["measured"] is None or gate["measured"] > gate["threshold"]:
         print(f"FAIL: {label}")
         return 1
     print(f"PASS: {label}")
@@ -125,8 +166,8 @@ def main(argv: list[str]) -> int:
     if run is None:
         print(f"FAIL: {path} records no full (non-smoke) benchmark run")
         return 1
-    # Run both checks so a failing report prints every verdict at once.
-    return max(check_shard_gate(run), check_cafe_gate(run))
+    # Run every check so a failing report prints every verdict at once.
+    return max(check_shard_gate(run), check_cafe_gate(run), check_delta_gate(run))
 
 
 if __name__ == "__main__":

@@ -11,6 +11,8 @@ Subcommands:
 
 ``train``            one (partial) chronological epoch + held-out AUC
 ``serve``            warm-up train → snapshot → micro-batched request replay
+                     (``--replicas N --traffic PATTERN`` switches to the
+                     delta-fed replicated tier under generated traffic)
 ``pipeline``         online train→publish→probe loop
 ``bench``            micro-benchmark harness (forwards to ``repro.bench``)
 ``experiment``       paper tables/figures (forwards to the legacy runner:
@@ -59,7 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
         "describe": "print the fully resolved plan for a config",
     }
     for command in _CONFIG_COMMANDS:
-        _add_config_arguments(subparsers.add_parser(command, help=help_by_command[command]))
+        sub = subparsers.add_parser(command, help=help_by_command[command])
+        _add_config_arguments(sub)
+        if command == "serve":
+            # Shorthands for the replicated tier (equivalent --set spelling
+            # in the help keeps the dotted override path discoverable).
+            sub.add_argument("--replicas", type=int, default=None, metavar="N",
+                             help="serve from N delta-fed replicas behind a router "
+                                  "(same as --set serve.replicas=N; 0 = single engine)")
+            sub.add_argument("--traffic", default=None, metavar="PATTERN",
+                             help="traffic pattern for the replicated replay: "
+                                  "uniform|zipf|zipf-diurnal|zipf-burst "
+                                  "(same as --set serve.traffic=PATTERN)")
 
     validate = subparsers.add_parser(
         "validate-config", help="validate config files (or directories of them)")
@@ -151,6 +164,12 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+
+    if args.command == "serve":
+        if args.replicas is not None:
+            args.overrides.append(f"serve.replicas={args.replicas}")
+        if args.traffic is not None:
+            args.overrides.append(f"serve.traffic={args.traffic}")
 
     try:
         config = _load_session_config(args)

@@ -154,12 +154,16 @@ class Session:
     # Lifecycle: serving replay
     # ------------------------------------------------------------------ #
     def serve(self) -> dict[str, Any]:
-        """Warm-up train, snapshot, replay single-example requests.
+        """Warm-up train, snapshot, replay requests.
 
         The zero-to-serving path the old ``python -m repro.serve`` ran:
         ``serve.warmup_steps`` training steps build non-trivial store state,
         then ``serve.requests`` single-row requests stream through the
-        micro-batching engine against a fresh snapshot.
+        micro-batching engine against a fresh snapshot.  With
+        ``serve.replicas > 0`` the replay instead goes through the
+        replicated tier: bootstrap full publish, delta-publish rounds, then
+        a generated traffic trace through the virtual-time workload driver
+        (see :meth:`_serve_replicated`).
         """
         from repro.serving.engine import ServingEngine
 
@@ -169,6 +173,8 @@ class Session:
                 self.dataset.training_stream(self.batch_size),
                 max_steps=config.serve.warmup_steps,
             )
+        if config.serve.replicas:
+            return self._serve_replicated()
         engine = ServingEngine(self.model, max_batch_size=config.serve.micro_batch)
         replay = self.dataset.test_batch(num_samples=config.serve.requests)
         started = time.perf_counter()
@@ -180,6 +186,63 @@ class Session:
         stats = engine.stats()
         stats["requests_per_s"] = round(len(replay) / elapsed, 1)
         return {"config": config.to_dict(), "store": self.store.describe(), "serving": stats}
+
+    def _serve_replicated(self) -> dict[str, Any]:
+        """Replicated replay: delta-fed replicas under generated traffic.
+
+        Three train→publish rounds follow the bootstrap full snapshot so the
+        replay is served from a genuinely delta-patched view, then the
+        configured traffic pattern is replayed through the replica router in
+        virtual time (optionally under the SLO controller).
+        """
+        from repro.serving.replica import ReplicaTier
+        from repro.serving.slo import SLOController
+        from repro.serving.traffic import TrafficConfig, TrafficGenerator, run_workload
+
+        config = self.config
+        serve = config.serve
+        tier = ReplicaTier(
+            self.model,
+            num_replicas=serve.replicas,
+            max_batch_size=serve.micro_batch,
+            policy=serve.policy,
+            rebase_every=serve.rebase_every,
+        )
+        tier.publish()  # the full base snapshot every delta chains from
+        delta_steps = max(1, serve.warmup_steps // 4 or 2)
+        for _ in range(3):
+            self.trainer.train_stream(
+                self.dataset.training_stream(self.batch_size), max_steps=delta_steps
+            )
+            tier.publish()
+
+        traffic = TrafficConfig.from_pattern(
+            serve.traffic,
+            duration_s=serve.traffic_duration_s,
+            base_rate=serve.traffic_rate,
+            seed=config.seed,
+        )
+        trace = TrafficGenerator(self.schema, traffic).trace()
+        controller = None
+        if serve.slo_target_p99_ms:
+            controller = SLOController(
+                serve.slo_target_p99_ms, micro_batch=serve.micro_batch
+            )
+        workload = run_workload(tier.replicas, trace, controller=controller)
+
+        serving = tier.stats()
+        serving["traffic"] = {
+            "pattern": traffic.pattern,
+            "duration_s": traffic.duration_s,
+            "base_rate": traffic.base_rate,
+            "requests": len(trace),
+        }
+        serving["workload"] = workload.as_dict()
+        return {
+            "config": config.to_dict(),
+            "store": self.store.describe(),
+            "serving": serving,
+        }
 
     # ------------------------------------------------------------------ #
     # Lifecycle: online pipeline

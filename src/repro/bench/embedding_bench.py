@@ -29,7 +29,11 @@ import numpy as np
 
 from repro.bench.group_bench import bench_table_group
 from repro.bench.legacy import LegacyCafeEmbedding, LegacyHotSketch, LegacyRowSGD
-from repro.bench.runtime_bench import bench_online_pipeline, bench_shard_parallel
+from repro.bench.runtime_bench import (
+    bench_online_pipeline,
+    bench_replica_serving,
+    bench_shard_parallel,
+)
 from repro.bench.store_bench import bench_serving_throughput, bench_shard_scaling
 from repro.embeddings.cafe import CafeEmbedding
 from repro.embeddings.hash_embedding import HashEmbedding
@@ -302,6 +306,7 @@ def run_benchmarks(config: BenchConfig) -> dict:
             "serving": bench_serving_throughput(config),
             "shard_parallel": bench_shard_parallel(config),
             "online_pipeline": bench_online_pipeline(config),
+            "replica_serving": bench_replica_serving(config),
             "table_group": bench_table_group(config),
         },
     }

@@ -61,6 +61,15 @@ class FullEmbedding(TableBackedEmbedding):
         """The full ``num_features x dim`` table."""
         return int(self.table.size)
 
+    def serving_state(self) -> dict[str, np.ndarray]:
+        """Ids index the table directly, so the table alone determines
+        lookups and delta publishes can ship changed rows only.
+        """
+        return {"table": self.table}
+
+    def adopt_serving_state(self, arrays: dict[str, np.ndarray]) -> None:
+        self.table = arrays["table"]
+
     def state_dict(self) -> dict[str, np.ndarray]:
         return {"table": self.table.copy(), "step": np.asarray(self._step)}
 

@@ -23,6 +23,34 @@ class DataError(ReproError):
     """Raised for malformed or inconsistent dataset inputs."""
 
 
+class DeltaProtocolError(ReproError):
+    """Base class for violations of the delta-snapshot publish protocol.
+
+    Replicas raise these instead of silently serving stale or corrupt
+    parameters: every payload names the version it produces and (for
+    deltas) the exact base version it applies to, and a replica refuses
+    anything that does not extend its current version by that chain.
+    """
+
+
+class VersionRegressionError(DeltaProtocolError):
+    """A replica received a payload at or below its current version.
+
+    Duplicate delivery and replays are refused loudly — re-applying a delta
+    would double-scatter rows, and re-applying an old full snapshot would
+    roll served parameters back without anyone noticing.
+    """
+
+
+class DeltaChainGapError(DeltaProtocolError):
+    """A delta's base version is ahead of the replica (dropped publish).
+
+    The chain has a hole: one or more intermediate deltas never arrived,
+    so applying this one would serve silently wrong rows.  The remedy is a
+    full-snapshot rebase, which the error message spells out.
+    """
+
+
 class ShardWorkerCrashed(ReproError):
     """Raised when a shard worker process dies instead of answering a request.
 

@@ -33,6 +33,7 @@ import numpy as np
 from repro.data.stream import Batch
 from repro.models.base import RecommendationModel
 from repro.serving.engine import ServingEngine
+from repro.serving.replica import ReplicaTier
 from repro.serving.stats import LatencyTracker
 from repro.training.config import TrainingConfig
 from repro.training.trainer import Trainer
@@ -92,6 +93,7 @@ class PipelineReport:
     elapsed_s: float = 0.0
     probe_stats: dict[str, Any] | None = None
     serving_stats: dict[str, Any] | None = None
+    replica_stats: dict[str, Any] | None = None
     executor_stats: dict[str, Any] | None = None
     final_snapshot_version: int = 0
     days_seen: list[int] = field(default_factory=list)
@@ -126,6 +128,7 @@ class PipelineReport:
             "final_snapshot_version": self.final_snapshot_version,
             "probe": self.probe_stats,
             "serving": self.serving_stats,
+            "replicas": self.replica_stats,
             "executor": self.executor_stats,
         }
 
@@ -152,6 +155,7 @@ class OnlinePipeline:
         trainer: Trainer | None = None,
         trainer_config: TrainingConfig | None = None,
         engine: ServingEngine | None = None,
+        tier: ReplicaTier | None = None,
     ):
         self.model = model
         self.config = config or PipelineConfig()
@@ -159,6 +163,10 @@ class OnlinePipeline:
         self.engine = engine or ServingEngine(
             model, max_batch_size=self.config.serving_micro_batch
         )
+        #: Optional replicated serving tier: when set, every publish also
+        #: ships a delta/full payload to the replicas, and probes are routed
+        #: through the replica router instead of the local engine.
+        self.tier = tier
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -174,10 +182,20 @@ class OnlinePipeline:
     # The loop
     # ------------------------------------------------------------------ #
     def publish(self) -> float:
-        """Refresh the engine's snapshot now; returns publish latency in s."""
+        """Refresh the engine's snapshot now; returns publish latency in s.
+
+        With a replica tier attached the same cadence also ships one
+        versioned payload (delta or full, the publisher decides) to every
+        replica; the tier records its own publish latencies separately
+        because shipping materialized state is the expensive part the
+        delta protocol exists to shrink.
+        """
         start = time.perf_counter()
         self.engine.refresh()
-        return time.perf_counter() - start
+        latency = time.perf_counter() - start
+        if self.tier is not None:
+            self.tier.publish()
+        return latency
 
     def run(self, stream: Iterable[Batch], probe_batch: Batch | None = None) -> PipelineReport:
         """Consume ``stream``, training and publishing on the cadence.
@@ -195,6 +213,10 @@ class OnlinePipeline:
         max_staleness_s = 0.0
         steps = 0
         probes = 0
+        if self.tier is not None and not self.tier.ready:
+            # Bootstrap the version chain: replicas must hold a full base
+            # snapshot before any delta (or probe) can reach them.
+            self.tier.publish()
         last_publish = time.perf_counter()
         started = time.perf_counter()
 
@@ -239,6 +261,7 @@ class OnlinePipeline:
             elapsed_s=elapsed,
             probe_stats=probe_tracker.summary() if len(probe_tracker) else None,
             serving_stats=self.engine.stats(),
+            replica_stats=self.tier.stats() if self.tier is not None else None,
             executor_stats=self._executor_stats(),
             final_snapshot_version=self.engine.snapshot_version,
             days_seen=days,
@@ -252,8 +275,9 @@ class OnlinePipeline:
         numerical = None
         if probe_batch.numerical.shape[1]:
             numerical = probe_batch.numerical[start:stop]
-        pending = self.engine.submit(probe_batch.categorical[start:stop], numerical)
-        self.engine.flush()
+        target = self.tier if self.tier is not None else self.engine
+        pending = target.submit(probe_batch.categorical[start:stop], numerical)
+        target.flush()
         tracker.record(pending.latency_s)
 
     def _executor_stats(self) -> dict[str, Any] | None:

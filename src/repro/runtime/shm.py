@@ -282,3 +282,9 @@ class GenerationLease:
     def release(self) -> None:
         if self._finalizer.detach() is not None:
             self.generation.release()
+
+    def __deepcopy__(self, memo: dict) -> None:
+        # A deep copy of a sealed view owner copies the mapped arrays into
+        # private memory, so the copy must not hold (or ever release) a
+        # reference to the shared segment.
+        return None

@@ -1,0 +1,561 @@
+"""Replicated serving: N snapshot replicas behind a router.
+
+One :class:`~repro.serving.engine.ServingEngine` tops out at one core's
+forward-pass throughput.  The replicated tier scales horizontally: a
+:class:`ReplicaSet` holds N :class:`Replica` instances — each a private,
+micro-batching serving engine — and routes requests across them
+(round-robin, or least-loaded by queued rows).  Replicas are fed by the
+:class:`~repro.serving.delta.DeltaSnapshotPublisher`: a *full* payload
+rebuilds a replica's entire view, a *delta* payload patches only the rows
+training touched, and every payload is versioned so the chain is checked,
+not assumed.
+
+Cutover is atomic and all-or-nothing per replica: a payload is staged into
+a completely new view (fresh shard list, fresh spliced dense network) while
+readers keep using the current one, and the switch is a single reference
+assignment — a replica that stalls (or dies) mid-cutover keeps serving the
+old version, never a half-applied one.  Version checks happen before any
+staging, so a refused payload (duplicate, replay, or a gap from a dropped
+delta) raises one of the :mod:`repro.errors` delta-protocol errors and
+leaves the replica exactly as it was.
+
+Replicas deliberately *materialize* their state (deep copies / patched
+array copies) instead of aliasing the publisher's frozen snapshots: a
+replica models a process on another machine, so applying a payload pays
+the real shipping cost — that is what the delta-vs-full bench gate
+measures.  To keep a delta apply O(delta rows) rather than O(table), each
+replica double-buffers: the state displaced by a cutover is kept as a
+spare, and the next delta patches the spare in place (replaying the one
+delta batch it is behind) instead of copying the whole table.  The
+resulting contract: an installed view is immutable while it is current
+and throughout the cutover that replaces it; once it is two versions old
+its arrays may be recycled.  Memory cost is ~2x the table per replica.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import deque
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import DeltaChainGapError, DeltaProtocolError, VersionRegressionError
+from repro.serving.delta import (
+    STORE_SLOT,
+    DeltaSnapshotPublisher,
+    SnapshotPayload,
+    serving_state_of,
+)
+from repro.serving.engine import PendingPrediction
+from repro.serving.stats import LatencyTracker
+from repro.store.snapshot import StoreSnapshot
+
+#: Router policies a :class:`ReplicaSet` understands.
+ROUTER_POLICIES = ("round_robin", "least_loaded")
+
+
+class _Published:
+    """One installed parameter version: the atomic unit readers see.
+
+    Readers grab the current ``_Published`` once per operation; because the
+    view and the dense model travel inside one object swapped by a single
+    reference assignment, no request can ever mix two versions.
+    """
+
+    __slots__ = ("view", "model", "version", "step")
+
+    def __init__(self, view: Any, model: Any, version: int, step: int):
+        self.view = view
+        self.model = model
+        self.version = int(version)
+        self.step = int(step)
+
+
+class Replica:
+    """One serving replica: a micro-batching engine over shipped payloads.
+
+    Unlike :class:`~repro.serving.engine.ServingEngine`, a replica never
+    touches the live model — it owns private copies of everything it
+    serves, built from :class:`~repro.serving.delta.SnapshotPayload`
+    objects via :meth:`apply`.
+
+    ``before_cutover`` is a fault-injection hook: when set, it is called
+    after a payload is fully staged but *before* the atomic switch, with
+    ``(replica, payload)``.  Tests use it to stall or crash a replica
+    mid-cutover and assert readers keep seeing the old version.
+    """
+
+    def __init__(self, index: int = 0, max_batch_size: int = 64):
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        self.index = int(index)
+        self.max_batch_size = int(max_batch_size)
+        self.latency = LatencyTracker()
+        self.before_cutover: Callable[["Replica", SnapshotPayload], None] | None = None
+        self._serving: _Published | None = None
+        #: Replica-private shard objects (only for StoreSnapshot payloads;
+        #: generic snapshots are served whole and cannot take row deltas).
+        self._shards: list[Any] | None = None
+        self._meta: dict[str, Any] | None = None
+        #: Double-buffer spares: shard index -> (displaced serving state, the
+        #: row-delta batch that superseded it).  Consumed (popped) while
+        #: staging, so an aborted cutover can never leave a corrupted spare —
+        #: the retry just falls back to the copy-on-write patch path.
+        self._spare: dict[int, tuple[dict[str, Any], Any]] = {}
+        self._pending: deque[PendingPrediction] = deque()
+        self._pending_categorical: deque[np.ndarray] = deque()
+        self._pending_numerical: deque[np.ndarray | None] = deque()
+        self._pending_rows = 0
+        self.micro_batches = 0
+        self.requests_served = 0
+        self.rows_served = 0
+        self.full_applies = 0
+        self.delta_applies = 0
+        self.rows_applied = 0
+
+    # ------------------------------------------------------------------ #
+    # Payload ingestion
+    # ------------------------------------------------------------------ #
+    @property
+    def ready(self) -> bool:
+        return self._serving is not None
+
+    @property
+    def version(self) -> int:
+        return self._serving.version if self._serving is not None else 0
+
+    @property
+    def step(self) -> int:
+        return self._serving.step if self._serving is not None else 0
+
+    def apply(self, payload: SnapshotPayload) -> None:
+        """Stage ``payload`` into a new view and cut over atomically.
+
+        Raises :class:`~repro.errors.VersionRegressionError` for duplicate
+        or out-of-order payloads and :class:`~repro.errors.
+        DeltaChainGapError` when a delta's base proves an earlier publish
+        was dropped.  On any raise the replica is untouched and keeps
+        serving its current version.
+        """
+        self._check_version(payload)
+        if payload.kind == "full":
+            view, shards, meta = self._stage_full(payload)
+            spares: dict[int, tuple[dict[str, Any], Any]] = {}
+        else:
+            view, shards, meta, spares = self._stage_delta(payload)
+        model = copy.deepcopy(payload.dense_model, memo={id(STORE_SLOT): view})
+        if self._pending_rows:
+            # No queued request may span two parameter versions.
+            self.flush()
+        if self.before_cutover is not None:
+            self.before_cutover(self, payload)
+        # The actual cutover: one reference assignment, all-or-nothing.
+        self._serving = _Published(view, model, payload.version, payload.step)
+        self._shards = shards
+        self._meta = meta
+        if payload.kind == "full":
+            # A full rebuild severs the delta lineage the spares depend on.
+            self._spare.clear()
+            self.full_applies += 1
+        else:
+            self._spare.update(spares)
+            self.delta_applies += 1
+            self.rows_applied += payload.payload_rows
+
+    def _check_version(self, payload: SnapshotPayload) -> None:
+        current = self.version
+        if payload.kind == "full":
+            if self._serving is not None and payload.version <= current:
+                raise VersionRegressionError(
+                    f"replica {self.index} is at version {current} but received a "
+                    f"full snapshot for version {payload.version}; refusing the "
+                    "duplicate/rollback (replays must never silently rewind "
+                    "served parameters)"
+                )
+            return
+        if payload.kind != "delta":
+            raise DeltaProtocolError(
+                f"replica {self.index} received unknown payload kind "
+                f"{payload.kind!r}; expected 'full' or 'delta'"
+            )
+        if self._serving is None:
+            raise DeltaChainGapError(
+                f"replica {self.index} has no base snapshot but received delta "
+                f"v{payload.base_version}->v{payload.version}; ship a full "
+                "snapshot first"
+            )
+        if payload.version <= current:
+            raise VersionRegressionError(
+                f"replica {self.index} is at version {current} but received "
+                f"delta v{payload.base_version}->v{payload.version}; refusing "
+                "the duplicate (re-applying a delta would corrupt served rows)"
+            )
+        if payload.base_version != current:
+            missing = payload.base_version - current
+            raise DeltaChainGapError(
+                f"replica {self.index} is at version {current} but delta "
+                f"v{payload.base_version}->v{payload.version} needs base "
+                f"{payload.base_version}: {missing} intermediate publish(es) "
+                "were dropped; request a full-snapshot rebase instead of "
+                "serving silently stale rows"
+            )
+
+    def _stage_full(self, payload: SnapshotPayload):
+        snapshot = payload.snapshot
+        if isinstance(snapshot, StoreSnapshot):
+            # Materialize private shard copies: the replica models a remote
+            # process, so a full payload pays the whole-table shipping cost.
+            shards = [copy.deepcopy(shard) for shard in snapshot.shards]
+            meta = {
+                "shard_seed": snapshot.shard_seed,
+                "dim": snapshot.dim,
+                "num_features": snapshot.num_features,
+                "dtype": snapshot.dtype,
+            }
+            view = StoreSnapshot(
+                shards=shards,
+                version=payload.version,
+                step=payload.step,
+                **meta,
+            )
+            return view, shards, meta
+        # Generic snapshot (e.g. TableGroupSnapshot): served whole.
+        return copy.deepcopy(snapshot), None, None
+
+    def _stage_delta(self, payload: SnapshotPayload):
+        if self._shards is None:
+            raise DeltaProtocolError(
+                f"replica {self.index} serves a whole-snapshot view that "
+                "cannot take row deltas; the publisher must send full "
+                "payloads for this store type"
+            )
+        shards = list(self._shards)
+        spares: dict[int, tuple[dict[str, Any], Any]] = {}
+        for update in payload.updates:
+            if update.replacement is not None:
+                self._spare.pop(update.index, None)
+                shards[update.index] = copy.deepcopy(update.replacement)
+                continue
+            shards[update.index], displaced = self._patch_shard(
+                shards[update.index], update.index, update.row_deltas
+            )
+            spares[update.index] = (displaced, update.row_deltas)
+        view = StoreSnapshot(
+            shards=shards,
+            version=payload.version,
+            step=payload.step,
+            **self._meta,
+        )
+        return view, shards, self._meta, spares
+
+    def _patch_shard(self, shard: Any, index: int, row_deltas):
+        """Patch one shard into a new object; the current view is untouched.
+
+        Double-buffered: when a spare (the state displaced two cutovers ago,
+        plus the delta batch it missed) is available, the spare's arrays are
+        brought current and patched in place — O(delta rows).  Without a
+        spare (first delta after a full/replacement, or after an aborted
+        cutover consumed it) the touched arrays are copied first —
+        O(table) once, re-seeding the buffer pair.  Either way the arrays a
+        reader can observe (the current view and every view newer than the
+        spare) are never written.  Returns ``(patched_shard, displaced
+        state)``; the displaced state becomes the next spare once the
+        cutover commits.
+        """
+        state = serving_state_of(shard)
+        if state is None:
+            raise DeltaProtocolError(
+                f"replica {self.index} received row deltas for a shard with no "
+                "serving state; the publisher should have shipped a replacement"
+            )
+        spare = self._spare.pop(index, None)
+        new_state = dict(state)
+        fresh: dict[str, Any] = {}
+        if spare is not None:
+            spare_state, pending = spare
+            # Only keys the pending batch re-wrote got fresh arrays at the
+            # last patch; other spare keys still alias live views.
+            for delta in pending:
+                fresh.setdefault(delta.key, spare_state[delta.key])
+                fresh[delta.key][delta.rows] = delta.values
+        for delta in row_deltas:
+            target = fresh.get(delta.key)
+            if target is None:
+                target = new_state[delta.key].copy()
+                fresh[delta.key] = target
+            target[delta.rows] = delta.values
+        new_state.update(fresh)
+        patched = copy.copy(shard)  # routing/config shared, storage re-pointed
+        patched.adopt_serving_state(new_state)
+        return patched, dict(state)
+
+    # ------------------------------------------------------------------ #
+    # Request path (micro-batching, same discipline as ServingEngine)
+    # ------------------------------------------------------------------ #
+    def _require_ready(self) -> _Published:
+        serving = self._serving
+        if serving is None:
+            raise RuntimeError(
+                f"replica {self.index} has no published snapshot; apply a full "
+                "payload before serving"
+            )
+        return serving
+
+    def submit(
+        self, categorical: np.ndarray, numerical: np.ndarray | None = None
+    ) -> PendingPrediction:
+        """Queue one request; it executes when the micro-batch fills or on
+        :meth:`flush`."""
+        self._require_ready()
+        categorical = np.asarray(categorical, dtype=np.int64)
+        if categorical.ndim == 1:
+            categorical = categorical[None, :]
+        if numerical is not None:
+            numerical = np.asarray(numerical, dtype=np.float64)
+            if numerical.ndim == 1:
+                numerical = numerical[None, :]
+        pending = PendingPrediction(categorical.shape[0], time.perf_counter())
+        self._pending.append(pending)
+        self._pending_categorical.append(categorical)
+        self._pending_numerical.append(numerical)
+        self._pending_rows += pending.rows
+        if self._pending_rows >= self.max_batch_size:
+            self.flush()
+        return pending
+
+    def flush(self) -> int:
+        """Serve every queued request in micro-batches; returns rows served."""
+        served = 0
+        while self._pending:
+            served += self._serve_one_micro_batch()
+        return served
+
+    def predict(
+        self, categorical: np.ndarray, numerical: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Synchronous convenience: submit one request and serve it now."""
+        pending = self.submit(categorical, numerical)
+        if not pending.done:
+            self.flush()
+        return pending.result()
+
+    def serve_batch(
+        self, categorical: np.ndarray, numerical: np.ndarray | None = None
+    ) -> tuple[np.ndarray, float]:
+        """One direct forward pass: ``(probabilities, compute_seconds)``.
+
+        The virtual-time workload driver uses this to run its own queueing
+        simulation around real (or modeled) per-batch compute times.
+        """
+        serving = self._require_ready()
+        start = time.perf_counter()
+        probabilities = serving.model.predict_proba(categorical, numerical)
+        return probabilities, time.perf_counter() - start
+
+    def _serve_one_micro_batch(self) -> int:
+        serving = self._require_ready()
+        requests: list[PendingPrediction] = []
+        categorical: list[np.ndarray] = []
+        numerical: list[np.ndarray | None] = []
+        rows = 0
+        while self._pending and (
+            rows == 0 or rows + self._pending[0].rows <= self.max_batch_size
+        ):
+            requests.append(self._pending.popleft())
+            categorical.append(self._pending_categorical.popleft())
+            numerical.append(self._pending_numerical.popleft())
+            rows += requests[-1].rows
+        self._pending_rows -= rows
+
+        cat = np.concatenate(categorical, axis=0)
+        num = None
+        if any(n is not None for n in numerical):
+            width = getattr(serving.model, "num_numerical", 0)
+            num = np.concatenate(
+                [
+                    n if n is not None else np.zeros((c.shape[0], width))
+                    for n, c in zip(numerical, categorical)
+                ],
+                axis=0,
+            )
+        probabilities = serving.model.predict_proba(cat, num)
+        completed_at = time.perf_counter()
+
+        offset = 0
+        for pending in requests:
+            pending.probabilities = probabilities[offset: offset + pending.rows]
+            pending.latency_s = completed_at - pending.submitted_at
+            self.latency.record(pending.latency_s)
+            offset += pending.rows
+        self.micro_batches += 1
+        self.requests_served += len(requests)
+        self.rows_served += rows
+        return rows
+
+    @property
+    def queued_rows(self) -> int:
+        """Rows waiting in the micro-batch queue (the least-loaded signal)."""
+        return self._pending_rows
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        summary = self.latency.summary()
+        summary.update(
+            index=self.index,
+            version=self.version,
+            step=self.step,
+            requests_served=self.requests_served,
+            micro_batches=self.micro_batches,
+            full_applies=self.full_applies,
+            delta_applies=self.delta_applies,
+            rows_applied=self.rows_applied,
+        )
+        return summary
+
+
+class ReplicaSet:
+    """N replicas behind one router.
+
+    ``policy`` picks the routing discipline: ``"round_robin"`` spreads
+    requests evenly; ``"least_loaded"`` sends each request to the replica
+    with the fewest queued rows (ties break to the lowest index), which
+    absorbs stragglers and uneven request sizes.
+    """
+
+    def __init__(
+        self,
+        num_replicas: int,
+        max_batch_size: int = 64,
+        policy: str = "round_robin",
+    ):
+        if num_replicas <= 0:
+            raise ValueError(f"num_replicas must be positive, got {num_replicas}")
+        if policy not in ROUTER_POLICIES:
+            raise ValueError(
+                f"unknown router policy {policy!r}; expected one of {ROUTER_POLICIES}"
+            )
+        self.replicas = [Replica(i, max_batch_size) for i in range(num_replicas)]
+        self.policy = policy
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+    def publish(self, payload: SnapshotPayload) -> None:
+        """Apply one payload to every replica (errors name the replica)."""
+        for replica in self.replicas:
+            replica.apply(payload)
+
+    def versions(self) -> list[int]:
+        return [replica.version for replica in self.replicas]
+
+    @property
+    def ready(self) -> bool:
+        """True once every replica has a published snapshot to serve."""
+        return all(replica.ready for replica in self.replicas)
+
+    @property
+    def version(self) -> int:
+        """The lowest replica version (what the whole set is guaranteed at)."""
+        return min(self.versions())
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def route(self) -> Replica:
+        """Pick the replica the next request goes to."""
+        if self.policy == "least_loaded":
+            return min(self.replicas, key=lambda r: (r.queued_rows, r.index))
+        replica = self.replicas[self._next]
+        self._next = (self._next + 1) % len(self.replicas)
+        return replica
+
+    def submit(
+        self, categorical: np.ndarray, numerical: np.ndarray | None = None
+    ) -> PendingPrediction:
+        return self.route().submit(categorical, numerical)
+
+    def predict(
+        self, categorical: np.ndarray, numerical: np.ndarray | None = None
+    ) -> np.ndarray:
+        return self.route().predict(categorical, numerical)
+
+    def flush(self) -> int:
+        return sum(replica.flush() for replica in self.replicas)
+
+    def set_max_batch_size(self, max_batch_size: int) -> None:
+        """Retarget every replica's micro-batch (the SLO controller's lever)."""
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        for replica in self.replicas:
+            replica.max_batch_size = int(max_batch_size)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        per_replica = [replica.stats() for replica in self.replicas]
+        return {
+            "num_replicas": len(self.replicas),
+            "policy": self.policy,
+            "versions": self.versions(),
+            "requests_served": sum(r["requests_served"] for r in per_replica),
+            "replicas": per_replica,
+        }
+
+
+class ReplicaTier:
+    """Publisher + replica set as one unit (what the pipeline drives).
+
+    ``publish()`` extracts the next payload from the live model and fans it
+    out to every replica; requests go through the set's router.
+    """
+
+    def __init__(
+        self,
+        model: Any,
+        num_replicas: int = 2,
+        max_batch_size: int = 64,
+        policy: str = "round_robin",
+        rebase_every: int = 8,
+    ):
+        self.publisher = DeltaSnapshotPublisher(model, rebase_every=rebase_every)
+        self.replicas = ReplicaSet(
+            num_replicas, max_batch_size=max_batch_size, policy=policy
+        )
+
+    def publish(self) -> SnapshotPayload:
+        start = time.perf_counter()
+        payload = self.publisher.publish()
+        self.replicas.publish(payload)
+        self.publisher.stats.publish_latencies_s.append(time.perf_counter() - start)
+        return payload
+
+    def submit(self, categorical, numerical=None) -> PendingPrediction:
+        return self.replicas.submit(categorical, numerical)
+
+    def predict(self, categorical, numerical=None) -> np.ndarray:
+        return self.replicas.predict(categorical, numerical)
+
+    def flush(self) -> int:
+        return self.replicas.flush()
+
+    @property
+    def version(self) -> int:
+        return self.replicas.version
+
+    @property
+    def ready(self) -> bool:
+        return self.replicas.ready
+
+    def stats(self) -> dict[str, Any]:
+        stats = self.replicas.stats()
+        stats["publisher"] = self.publisher.stats.as_dict()
+        return stats

@@ -1,0 +1,95 @@
+"""SLO controller: hold serving p99 under a target by resizing micro-batches.
+
+The micro-batch size is the serving tier's one cheap knob, and it pulls in
+opposite directions depending on load:
+
+* **Under overload** (a flash crowd has arrivals outrunning service), the
+  queue grows without bound and p99 explodes.  Per-batch compute is roughly
+  ``base + per_row * rows``, so *larger* batches amortize the base cost and
+  raise sustainable throughput — growing the batch is what drains the queue
+  and brings p99 back down.
+* **Under light load**, big batches just sit waiting to fill (or for the
+  batching timeout); *small* batches dispatch sooner and minimize latency.
+
+:class:`SLOController` implements exactly that hysteresis loop: observe the
+recent p99 once per window, grow multiplicatively while over target, decay
+back toward the configured baseline once comfortably under it (the
+``headroom`` guard keeps it from oscillating around the target).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SLOController:
+    """Window-by-window micro-batch adaptation against a p99 target.
+
+    ``observe(p99_ms)`` is called once per traffic window with the recent
+    tail latency and returns the micro-batch size to use from now on.  The
+    caller (the workload driver, or a serving loop) applies it via
+    :meth:`~repro.serving.replica.ReplicaSet.set_max_batch_size`.
+    """
+
+    def __init__(
+        self,
+        target_p99_ms: float,
+        micro_batch: int = 64,
+        min_batch: int = 1,
+        max_batch: int = 4096,
+        grow: float = 2.0,
+        shrink: float = 0.5,
+        headroom: float = 0.5,
+    ):
+        if target_p99_ms <= 0:
+            raise ValueError(f"target_p99_ms must be positive, got {target_p99_ms}")
+        if not (0 < min_batch <= micro_batch <= max_batch):
+            raise ValueError(
+                f"need 0 < min_batch <= micro_batch <= max_batch, got "
+                f"{min_batch}/{micro_batch}/{max_batch}"
+            )
+        if grow <= 1.0 or not (0.0 < shrink < 1.0) or not (0.0 < headroom < 1.0):
+            raise ValueError(
+                f"need grow > 1, 0 < shrink < 1, 0 < headroom < 1; got "
+                f"grow={grow}, shrink={shrink}, headroom={headroom}"
+            )
+        self.target_p99_ms = float(target_p99_ms)
+        self.baseline = int(micro_batch)
+        self.micro_batch = int(micro_batch)
+        self.min_batch = int(min_batch)
+        self.max_batch = int(max_batch)
+        self.grow = float(grow)
+        self.shrink = float(shrink)
+        self.headroom = float(headroom)
+        self.windows = 0
+        self.adaptations = 0
+        self.history: list[dict[str, float | int]] = []
+
+    def observe(self, p99_ms: float) -> int:
+        """One control step: fold in a window's p99, return the batch size."""
+        self.windows += 1
+        before = self.micro_batch
+        if p99_ms > self.target_p99_ms:
+            grown = int(self.micro_batch * self.grow)
+            self.micro_batch = min(self.max_batch, max(grown, self.micro_batch + 1))
+        elif p99_ms < self.headroom * self.target_p99_ms and self.micro_batch > self.baseline:
+            shrunk = int(self.micro_batch * self.shrink)
+            self.micro_batch = max(self.baseline, self.min_batch, shrunk)
+        if self.micro_batch != before:
+            self.adaptations += 1
+        self.history.append(
+            {"window": self.windows, "p99_ms": round(float(p99_ms), 4), "micro_batch": self.micro_batch}
+        )
+        return self.micro_batch
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "target_p99_ms": self.target_p99_ms,
+            "baseline_micro_batch": self.baseline,
+            "final_micro_batch": self.micro_batch,
+            "windows": self.windows,
+            "adaptations": self.adaptations,
+            "max_micro_batch_used": max(
+                (entry["micro_batch"] for entry in self.history), default=self.baseline
+            ),
+        }

@@ -9,6 +9,8 @@ experiment report the same columns.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 #: The percentiles serving dashboards conventionally report.
@@ -18,7 +20,18 @@ PERCENTILES = (50.0, 95.0, 99.0)
 class LatencyTracker:
     """Accumulates per-request latencies and summarizes their distribution.
 
+    Percentiles are NaN-safe: an empty tracker reports ``0.0`` for every
+    latency figure (count ``0``) instead of ``nan``, so callers — the SLO
+    controller sampling short windows, JSON reports — never need a guard,
+    and a single sample is its own p50/p95/p99.
+
+    ``window`` bounds the tracker to the most recent N samples (a sliding
+    window), which is what the SLO controller reads: old traffic must not
+    dilute the tail of the current regime.
+
     >>> tracker = LatencyTracker()
+    >>> tracker.percentile_ms(99.0)
+    0.0
     >>> for seconds in (0.001, 0.002, 0.003):
     ...     tracker.record(seconds)
     >>> len(tracker)
@@ -27,10 +40,18 @@ class LatencyTracker:
     2.0
     >>> tracker.summary()["count"]
     3
+    >>> windowed = LatencyTracker(window=2)
+    >>> for seconds in (0.9, 0.001, 0.003):
+    ...     windowed.record(seconds)
+    >>> windowed.percentile_ms(99.0) < 10.0
+    True
     """
 
-    def __init__(self):
-        self._seconds: list[float] = []
+    def __init__(self, window: int | None = None):
+        if window is not None and window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._seconds: deque[float] = deque(maxlen=window)
 
     def record(self, seconds: float) -> None:
         self._seconds.append(float(seconds))
@@ -39,15 +60,21 @@ class LatencyTracker:
         return len(self._seconds)
 
     def percentile_ms(self, percentile: float) -> float:
+        """The given latency percentile in milliseconds (``0.0`` if empty)."""
         if not self._seconds:
-            return float("nan")
+            return 0.0
         return float(np.percentile(np.asarray(self._seconds), percentile) * 1e3)
 
     def summary(self) -> dict[str, float | int]:
-        """Count, mean and tail percentiles in milliseconds."""
+        """Count, mean and tail percentiles in milliseconds.
+
+        Every field is a finite float: an empty tracker reports zeros, so
+        the summary can be compared, JSON-serialized, and fed to gates
+        without NaN handling at each call site.
+        """
         if not self._seconds:
-            return {"count": 0, "mean_ms": float("nan")} | {
-                f"p{int(p)}_ms": float("nan") for p in PERCENTILES
+            return {"count": 0, "mean_ms": 0.0} | {
+                f"p{int(p)}_ms": 0.0 for p in PERCENTILES
             }
         values = np.asarray(self._seconds) * 1e3
         out: dict[str, float | int] = {

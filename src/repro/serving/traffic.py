@@ -1,0 +1,376 @@
+"""Workload generation and replay for the replicated serving tier.
+
+Serving claims are only as good as the traffic they were measured under.
+This module generates *adversarially realistic* request streams and replays
+them through a :class:`~repro.serving.replica.ReplicaSet` in **virtual
+time**, so results are about queueing physics, not about how fast the test
+host happens to be:
+
+* **Zipfian users** — a small hot set issues most requests (the same skew
+  CAFE exploits on the training side);
+* **diurnal cycle** — the arrival rate swings sinusoidally across the
+  trace, like a day of real traffic;
+* **flash-crowd bursts** — a configurable window multiplies the rate,
+  the scenario that breaks fixed-size micro-batching;
+* **slow-client stragglers** — a fraction of requests carries extra
+  client-side delay, inflating the tail the way real networks do.
+
+The driver (:func:`run_workload`) simulates a single arrival queue feeding
+N replicas: arrivals follow the trace's (inhomogeneous Poisson) timestamps,
+batches dispatch when the micro-batch fills or a batching timeout expires,
+and each replica serves sequentially (``busy_until`` per replica).  Batch
+compute times are *measured* from the real forward pass by default, or
+supplied as a deterministic ``service_model`` for reproducible fault tests.
+An optional :class:`~repro.serving.slo.SLOController` is consulted once per
+window and resizes the micro-batch mid-run.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.serving.slo import SLOController
+from repro.serving.stats import LatencyTracker
+from repro.utils.hashing import hash_to_range
+from repro.utils.rng import SeedLike, make_rng
+
+#: Named presets ``--traffic`` accepts; each is a set of config overrides.
+TRAFFIC_PATTERNS: dict[str, dict[str, float]] = {
+    "uniform": {"zipf_exponent": 0.0, "diurnal_amplitude": 0.0, "burst_magnitude": 1.0},
+    "zipf": {"diurnal_amplitude": 0.0, "burst_magnitude": 1.0},
+    "zipf-diurnal": {"burst_magnitude": 1.0},
+    "zipf-burst": {"burst_magnitude": 8.0},
+}
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of one generated workload (all times are virtual seconds)."""
+
+    pattern: str = "zipf"
+    duration_s: float = 4.0
+    base_rate: float = 2000.0
+    num_users: int = 5000
+    zipf_exponent: float = 1.1
+    diurnal_amplitude: float = 0.5
+    #: Diurnal period; ``0`` means one full cycle over the whole trace.
+    diurnal_period_s: float = 0.0
+    burst_start_frac: float = 0.5
+    burst_duration_frac: float = 0.25
+    burst_magnitude: float = 1.0
+    straggler_fraction: float = 0.01
+    straggler_delay_ms: float = 25.0
+    max_requests: int = 250_000
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+        if self.num_users <= 0:
+            raise ValueError(f"num_users must be positive, got {self.num_users}")
+        if self.zipf_exponent < 0:
+            raise ValueError(f"zipf_exponent must be >= 0, got {self.zipf_exponent}")
+        if not (0.0 <= self.diurnal_amplitude < 1.0):
+            raise ValueError(
+                f"diurnal_amplitude must lie in [0, 1), got {self.diurnal_amplitude}"
+            )
+        if self.burst_magnitude < 1.0:
+            raise ValueError(
+                f"burst_magnitude must be >= 1 (1 disables), got {self.burst_magnitude}"
+            )
+        if not (0.0 <= self.burst_start_frac <= 1.0) or not (
+            0.0 <= self.burst_duration_frac <= 1.0
+        ):
+            raise ValueError("burst window fractions must lie in [0, 1]")
+        if not (0.0 <= self.straggler_fraction <= 1.0):
+            raise ValueError(
+                f"straggler_fraction must lie in [0, 1], got {self.straggler_fraction}"
+            )
+
+    @classmethod
+    def from_pattern(cls, name: str, **overrides) -> "TrafficConfig":
+        """Build from a named preset; explicit overrides win."""
+        lowered = name.lower()
+        if lowered not in TRAFFIC_PATTERNS:
+            raise ValueError(
+                f"unknown traffic pattern {name!r}; expected one of "
+                f"{sorted(TRAFFIC_PATTERNS)}"
+            )
+        merged = {"pattern": lowered, **TRAFFIC_PATTERNS[lowered], **overrides}
+        return cls(**merged)
+
+    def burst_window(self) -> tuple[float, float]:
+        """The ``(start_s, end_s)`` of the flash-crowd window."""
+        start = self.burst_start_frac * self.duration_s
+        return start, start + self.burst_duration_frac * self.duration_s
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (requests/s) at virtual time ``t``."""
+        rate = self.base_rate
+        if self.diurnal_amplitude:
+            period = self.diurnal_period_s or self.duration_s
+            rate *= 1.0 + self.diurnal_amplitude * math.sin(2.0 * math.pi * t / period)
+        if self.burst_magnitude > 1.0:
+            start, end = self.burst_window()
+            if start <= t < end:
+                rate *= self.burst_magnitude
+        return max(rate, 1e-6)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One arriving request: a single example row plus client behaviour."""
+
+    arrival_s: float
+    user: int
+    categorical: np.ndarray
+    numerical: np.ndarray | None
+    straggler_delay_s: float
+
+
+class TrafficGenerator:
+    """Deterministic request-trace generator over a dataset schema.
+
+    Each virtual user maps to one fixed feature row (per-field ids hashed
+    from the user id), so a Zipfian user distribution yields the Zipfian
+    *row* distribution the delta publisher's hot-set claim depends on.
+    """
+
+    def __init__(self, schema: Any, config: TrafficConfig, rng: SeedLike = None):
+        self.schema = schema
+        self.config = config
+        self._rng = make_rng(rng if rng is not None else config.seed)
+
+    def _sample_users(self, n: int) -> np.ndarray:
+        config = self.config
+        if config.zipf_exponent == 0.0:
+            return self._rng.integers(0, config.num_users, size=n)
+        ranks = np.arange(1, config.num_users + 1, dtype=np.float64)
+        weights = ranks ** (-config.zipf_exponent)
+        cumulative = np.cumsum(weights)
+        cumulative /= cumulative[-1]
+        return np.searchsorted(cumulative, self._rng.random(n)).astype(np.int64)
+
+    def _rows_for_users(self, users: np.ndarray) -> np.ndarray:
+        per_field = np.column_stack(
+            [
+                hash_to_range(users, cardinality, seed=911 + field_index)
+                for field_index, cardinality in enumerate(self.schema.field_cardinalities)
+            ]
+        )
+        return self.schema.to_global_ids(per_field)
+
+    def trace(self) -> list[Request]:
+        """The full request trace, in arrival order."""
+        config = self.config
+        arrivals: list[float] = []
+        t = 0.0
+        while len(arrivals) < config.max_requests:
+            t += float(self._rng.exponential(1.0 / config.rate_at(t)))
+            if t >= config.duration_s:
+                break
+            arrivals.append(t)
+        n = len(arrivals)
+        if n == 0:
+            return []
+        users = self._sample_users(n)
+        categorical = self._rows_for_users(users)
+        numerical = None
+        width = int(getattr(self.schema, "num_numerical", 0))
+        if width:
+            numerical = np.zeros((n, width), dtype=np.float64)
+        straggler = self._rng.random(n) < config.straggler_fraction
+        delay_s = config.straggler_delay_ms * 1e-3
+        return [
+            Request(
+                arrival_s=arrivals[i],
+                user=int(users[i]),
+                categorical=categorical[i: i + 1],
+                numerical=None if numerical is None else numerical[i: i + 1],
+                straggler_delay_s=delay_s if straggler[i] else 0.0,
+            )
+            for i in range(n)
+        ]
+
+
+@dataclass
+class WorkloadReport:
+    """What one :func:`run_workload` replay measured (all virtual time)."""
+
+    requests: int
+    policy: str
+    window_s: float
+    virtual_duration_s: float
+    throughput_rps: float
+    overall: dict[str, Any]
+    windows: list[dict[str, Any]] = field(default_factory=list)
+    per_replica: list[dict[str, Any]] = field(default_factory=list)
+    controller: dict[str, Any] | None = None
+    modeled_service: bool = False
+
+    def peak_window_p99_ms(self) -> float:
+        return max((w["p99_ms"] for w in self.windows if w["completions"]), default=0.0)
+
+    def windows_between(self, start_s: float, end_s: float) -> list[dict[str, Any]]:
+        """Report windows whose start lies in ``[start_s, end_s)``."""
+        return [w for w in self.windows if start_s <= w["t_start"] < end_s]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "policy": self.policy,
+            "window_s": self.window_s,
+            "virtual_duration_s": round(self.virtual_duration_s, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "overall": self.overall,
+            "peak_window_p99_ms": round(self.peak_window_p99_ms(), 4),
+            "per_replica": self.per_replica,
+            "controller": self.controller,
+            "modeled_service": self.modeled_service,
+            "windows": self.windows,
+        }
+
+
+def run_workload(
+    replica_set: Any,
+    trace: Sequence[Request],
+    *,
+    window_s: float = 0.25,
+    max_wait_s: float = 0.01,
+    controller: SLOController | None = None,
+    service_model: tuple[float, float] | None = None,
+) -> WorkloadReport:
+    """Replay ``trace`` through the replica set in virtual time.
+
+    One global queue feeds the router: a batch dispatches when the current
+    micro-batch size fills or the head request has waited ``max_wait_s``.
+    Every batch runs a *real* forward pass on the routed replica; its wall
+    time becomes the batch's virtual service time unless ``service_model=
+    (base_s, per_row_s)`` supplies a deterministic one (fault tests use
+    this so queueing behaviour is bit-reproducible).  Request latency is
+    ``completion - arrival + straggler delay``.
+    """
+    if window_s <= 0 or max_wait_s < 0:
+        raise ValueError(f"need window_s > 0 and max_wait_s >= 0, got {window_s}/{max_wait_s}")
+    replicas = replica_set.replicas
+    policy = replica_set.policy
+    if controller is not None:
+        replica_set.set_max_batch_size(controller.micro_batch)
+    current_batch = controller.micro_batch if controller else replicas[0].max_batch_size
+
+    busy_until = [0.0] * len(replicas)
+    busy_total = [0.0] * len(replicas)
+    served = [0] * len(replicas)
+    replica_latency = [LatencyTracker() for _ in replicas]
+    overall = LatencyTracker()
+    recent = LatencyTracker(window=256)
+    completions_by_window: dict[int, list[float]] = defaultdict(list)
+    arrivals_by_window: dict[int, int] = defaultdict(int)
+    batch_by_window: dict[int, int] = {}
+    queue: deque[Request] = deque()
+    round_robin = 0
+    makespan = 0.0
+    next_boundary = window_s
+
+    def pick_replica() -> int:
+        nonlocal round_robin
+        if policy == "least_loaded":
+            return int(np.argmin(busy_until))
+        chosen = round_robin
+        round_robin = (round_robin + 1) % len(replicas)
+        return chosen
+
+    def dispatch(at: float) -> None:
+        nonlocal makespan
+        take = min(len(queue), current_batch)
+        requests = [queue.popleft() for _ in range(take)]
+        categorical = np.concatenate([r.categorical for r in requests], axis=0)
+        numerical = None
+        if requests[0].numerical is not None:
+            numerical = np.concatenate([r.numerical for r in requests], axis=0)
+        index = pick_replica()
+        start = max(at, busy_until[index])
+        _, compute_s = replicas[index].serve_batch(categorical, numerical)
+        if service_model is not None:
+            compute_s = service_model[0] + service_model[1] * take
+        done = start + compute_s
+        busy_until[index] = done
+        busy_total[index] += compute_s
+        served[index] += take
+        for request in requests:
+            latency = done - request.arrival_s + request.straggler_delay_s
+            overall.record(latency)
+            recent.record(latency)
+            replica_latency[index].record(latency)
+            completions_by_window[int(done / window_s)].append(latency)
+        makespan = max(makespan, done)
+
+    def advance_windows(now: float) -> None:
+        nonlocal next_boundary, current_batch
+        while now >= next_boundary:
+            window_index = int(round(next_boundary / window_s)) - 1
+            batch_by_window[window_index] = current_batch
+            if controller is not None and len(recent):
+                current_batch = controller.observe(recent.percentile_ms(99.0))
+                replica_set.set_max_batch_size(current_batch)
+            next_boundary += window_s
+
+    for request in trace:
+        while queue and request.arrival_s > queue[0].arrival_s + max_wait_s:
+            dispatch(queue[0].arrival_s + max_wait_s)
+        advance_windows(request.arrival_s)
+        arrivals_by_window[int(request.arrival_s / window_s)] += 1
+        queue.append(request)
+        while len(queue) >= current_batch:
+            dispatch(request.arrival_s)
+    while queue:
+        dispatch(queue[0].arrival_s + max_wait_s)
+
+    total = sum(served)
+    windows = []
+    if total:
+        last_window = int(makespan / window_s)
+        for window_index in range(last_window + 1):
+            latencies = completions_by_window.get(window_index, [])
+            windows.append(
+                {
+                    "t_start": round(window_index * window_s, 6),
+                    "arrivals": arrivals_by_window.get(window_index, 0),
+                    "completions": len(latencies),
+                    "p99_ms": round(
+                        float(np.percentile(latencies, 99.0) * 1e3), 4
+                    )
+                    if latencies
+                    else 0.0,
+                    "micro_batch": batch_by_window.get(window_index, current_batch),
+                }
+            )
+    per_replica = [
+        {
+            "index": index,
+            "requests": served[index],
+            "busy_s": round(busy_total[index], 6),
+            "utilization": round(busy_total[index] / makespan, 4) if makespan else 0.0,
+            **{k: v for k, v in replica_latency[index].summary().items() if k != "count"},
+        }
+        for index in range(len(replicas))
+    ]
+    return WorkloadReport(
+        requests=total,
+        policy=policy,
+        window_s=window_s,
+        virtual_duration_s=makespan,
+        throughput_rps=round(total / makespan, 2) if makespan else 0.0,
+        overall=overall.summary(),
+        windows=windows,
+        per_replica=per_replica,
+        controller=controller.summary() if controller is not None else None,
+        modeled_service=service_model is not None,
+    )

@@ -109,6 +109,9 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         self._cow_pending = [False] * self.num_shards
         self.snapshots_taken = 0
         self.cow_copies = 0
+        # Optional per-shard record of fused-scatter target rows (the delta
+        # publisher's O(churn) diff source); None until enable_write_log().
+        self._write_log: list[list[np.ndarray] | None] | None = None
         if self.num_shards == 1:
             # The delegating fast path never touches the store-level plan
             # cache, so surface the backend's stats instead.
@@ -201,6 +204,9 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         self._shards = list(self.executor.adopt_units(self._shards, kind="shard"))
         self._remote = True
         self._cow_pending = [False] * self.num_shards
+        # Worker-side plans are out of reach; delta publishers fall back to
+        # row diffs against the sealed generations.
+        self._write_log = None
         if self.num_shards == 1:
             # The backend's plan cache now lives in the worker; its reuse
             # rate is surfaced through describe() instead of this alias.
@@ -313,6 +319,8 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         if self.num_shards == 1:
             self._ensure_private(0)
             self._shards[0].apply_gradients(ids, grads)
+            if self._write_log is not None:
+                self._log_write(0)
             self._step += 1
             return
         plan = self.plan_for(ids)
@@ -337,6 +345,9 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
                 )
             )
         self.executor.run(tasks)
+        if self._write_log is not None:
+            for shard_index, _ in tasks:
+                self._log_write(shard_index)
         self._step += 1
 
     def rebalance(self) -> bool:
@@ -365,12 +376,82 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
             results = self.executor.run(
                 [(shard_index, self._shards[shard_index].rebalance) for shard_index in supported]
             )
+        for shard_index in supported:
+            # Row migration rewrites state outside the scatter path.
+            self._poison_write_log(shard_index)
         self.invalidate_plan()
         return any(results)
 
     def memory_floats(self) -> int:
         """Sum of all shard footprints (each shard holds 1/N of the budget)."""
         return int(sum(shard.memory_floats() for shard in self._shards))
+
+    # ------------------------------------------------------------------ #
+    # Write log (delta-snapshot extraction)
+    # ------------------------------------------------------------------ #
+    def enable_write_log(self) -> bool:
+        """Start recording which table rows each ``apply_gradients`` hits.
+
+        The delta publisher (:mod:`repro.serving.delta`) drains the log at
+        every publish and compares only those rows between snapshots, so
+        extraction cost follows hot-set churn instead of table size.  The
+        log is *exact*, not sampled: rows are read from the same scatter
+        plan the write just executed, inside this store's own methods, so
+        no interleaving can slip a write past it.  Mutations that bypass
+        the scatter path (:meth:`rebalance`, :meth:`load_state_dict`)
+        poison the affected shards' logs, which downgrades them to a full
+        row diff on the next publish — slower, never wrong.
+
+        Returns ``False`` (and records nothing) under the process executor:
+        worker-side plans are out of reach, and sealed generations make the
+        publisher's row-diff fallback the honest path there.
+        """
+        if self._remote:
+            return False
+        if self._write_log is None:
+            self._write_log = [[] for _ in range(self.num_shards)]
+        return True
+
+    def drain_write_log(self) -> list[np.ndarray | None] | None:
+        """Per-shard unique written rows since the last drain (then reset).
+
+        ``None`` entries mark shards whose log was poisoned; an overall
+        ``None`` means logging is off.  Draining also clears poison — it
+        only ever applies to the interval that contained the bypassing
+        mutation.
+        """
+        if self._write_log is None:
+            return None
+        drained: list[np.ndarray | None] = []
+        for entries in self._write_log:
+            if entries is None:
+                drained.append(None)
+            elif entries:
+                drained.append(np.unique(np.concatenate(entries)))
+            else:
+                drained.append(np.empty(0, dtype=np.int64))
+        self._write_log = [[] for _ in range(self.num_shards)]
+        return drained
+
+    def _log_write(self, shard_index: int) -> None:
+        log = self._write_log
+        if log is None or log[shard_index] is None:
+            return
+        plan = getattr(self._shards[shard_index], "_cached_plan", None)
+        scatter = plan.routes.get("scatter") if plan is not None else None
+        if scatter is None:
+            # The backend routed without a scatter plan; coverage unprovable.
+            log[shard_index] = None
+            return
+        log[shard_index].append(np.asarray(scatter.rows, dtype=np.int64))
+
+    def _poison_write_log(self, shard_index: int | None = None) -> None:
+        if self._write_log is None:
+            return
+        if shard_index is None:
+            self._write_log = [None] * self.num_shards
+        else:
+            self._write_log[shard_index] = None
 
     # ------------------------------------------------------------------ #
     # Snapshots (copy-on-write)
@@ -506,6 +587,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
     def _load_into_shard(self, index: int, state: dict[str, np.ndarray]) -> None:
         # Restoring is a write: never mutate a shard a snapshot still serves.
         self._ensure_private(index)
+        self._poison_write_log(index)
         shard = self._shards[index]
         if not self._shard_supports(shard, "load_state_dict"):
             name = getattr(shard, "backend_class", None) or type(shard).__name__

@@ -46,6 +46,17 @@ class StoreSnapshot:
     def num_shards(self) -> int:
         return len(self._shards)
 
+    @property
+    def shards(self) -> tuple:
+        """The frozen shard objects (immutable by the copy-on-write contract).
+
+        The delta publisher diffs consecutive snapshots shard by shard:
+        identical objects mean the shard was never written between the two
+        (copy-on-write swaps in a private copy on the first write), so the
+        identity check alone clears unchanged shards in O(1).
+        """
+        return self._shards
+
     def lookup(self, ids: np.ndarray) -> np.ndarray:
         """Embeddings of shape ``ids.shape + (dim,)`` at the frozen values."""
         ids = np.asarray(ids, dtype=np.int64)

@@ -69,10 +69,13 @@ class TestSnapshotBitIdentical:
         store.executor.close()
 
 
-@pytest.mark.parametrize("executor", ["serial", "thread"])
+@pytest.mark.parametrize("executor", ["serial", "thread", "processes"])
 def test_reader_thread_sees_stable_snapshot_during_training(executor):
     """Genuine concurrency: a reader hammers the snapshot while the writer
-    trains; every read must be bit-identical to the first."""
+    trains; every read must be bit-identical to the first.  Under the
+    processes executor the snapshot is a sealed shared-memory generation,
+    so this additionally pins the seal-and-graft path against writer
+    mutation and rebalance."""
     store = make_store(executor)
     for ids, grads in training_traffic(3):
         store.lookup(ids)

@@ -51,10 +51,34 @@ class TestLatencyTracker:
         assert summary["p50_ms"] == pytest.approx(50.5, abs=1.0)
         assert summary["p95_ms"] <= summary["p99_ms"] <= 100.0
 
-    def test_empty_summary_is_nan(self):
-        summary = LatencyTracker().summary()
+    def test_empty_summary_is_zero_not_nan(self):
+        """Percentiles of nothing must be NaN-safe: dashboards and the bench
+        gate compare these numbers, and NaN poisons every comparison."""
+        tracker = LatencyTracker()
+        summary = tracker.summary()
         assert summary["count"] == 0
-        assert np.isnan(summary["p99_ms"])
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert summary[key] == 0.0
+        assert tracker.percentile_ms(99.0) == 0.0
+
+    def test_single_sample_percentiles_are_that_sample(self):
+        tracker = LatencyTracker()
+        tracker.record(0.005)
+        summary = tracker.summary()
+        assert summary["count"] == 1
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert summary[key] == pytest.approx(5.0)
+
+    def test_windowed_tracker_evicts_oldest(self):
+        """window=N keeps the last N samples only — the sliding view the SLO
+        controller and the workload driver observe."""
+        tracker = LatencyTracker(window=4)
+        for ms in (100, 100, 100, 1, 1, 1, 1):
+            tracker.record(ms / 1000.0)
+        assert len(tracker) == 4
+        assert tracker.percentile_ms(99.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            LatencyTracker(window=0)
 
 
 class TestServingEngine:
