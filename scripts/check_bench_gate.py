@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Assert the acceptance gates recorded in BENCH_embedding.json.
 
-Three gates are checked against the most recent full (non-smoke) run:
+Five gates are checked against the most recent full (non-smoke) run:
 
 * **shard scaling** (written by ``repro.bench.store_bench.
   bench_shard_scaling``): the process-executor speedup of the hash backend
@@ -25,6 +25,17 @@ Three gates are checked against the most recent full (non-smoke) run:
   the same serving-table scale and identical training traffic — the
   replicated tier's reason to exist.  Single-process and deterministic in
   shape, so the threshold is unconditional.
+
+* **optimizer memory** (written by ``repro.bench.optim_bench.
+  bench_optimizer_memory``): sketched Adagrad at <= 0.25x the exact
+  optimizer's state memory must reach >= 0.98x the exact-Adagrad AUC.
+  Single-process and deterministic, so the threshold is unconditional.
+
+* **gradient exchange** (written by ``repro.bench.store_bench.
+  bench_grad_exchange``): the sketched shard->trainer exchange must ship
+  at most half the dense payload bytes per train step at 4 shards
+  (reduction >= 2.0x).  Payload accounting is transport-independent, so
+  the threshold is unconditional.
 
 No full (non-smoke) run recorded -> exit 1.
 
@@ -66,6 +77,24 @@ DELTA_REQUIRED_KEYS = (
     "passed",
     "full_p50_ms",
     "delta_p50_ms",
+)
+
+OPTIMIZER_REQUIRED_KEYS = (
+    "metric",
+    "threshold",
+    "measured",
+    "passed",
+    "memory_fraction_limit",
+    "memory_fraction",
+    "optimizer",
+)
+
+GRAD_EXCHANGE_REQUIRED_KEYS = (
+    "metric",
+    "threshold",
+    "measured",
+    "passed",
+    "num_shards",
 )
 
 
@@ -124,6 +153,55 @@ def check_delta_gate(run: dict) -> int:
     return 0
 
 
+def check_optimizer_gate(run: dict) -> int:
+    """The sketched-optimizer quality gate: unconditional (single-process)."""
+    gate = run.get("results", {}).get("optimizer_memory", {}).get("gate")
+    if not isinstance(gate, dict):
+        print("FAIL: the full run's optimizer_memory section has no gate object")
+        return 1
+    missing = [key for key in OPTIMIZER_REQUIRED_KEYS if key not in gate]
+    if missing:
+        print(f"FAIL: optimizer gate object is missing keys {missing}")
+        return 1
+    label = (
+        f"{gate['metric']}: measured {gate['measured']} vs threshold "
+        f"{gate['threshold']} ({gate['optimizer']} at memory fraction "
+        f"{gate['memory_fraction']})"
+    )
+    if gate["measured"] is None or gate["measured"] < gate["threshold"]:
+        print(f"FAIL: {label}")
+        return 1
+    print(f"PASS: {label}")
+    return 0
+
+
+def check_grad_exchange_gate(run: dict) -> int:
+    """The sketched-exchange byte-reduction gate: unconditional."""
+    gate = (
+        run.get("results", {})
+        .get("shard_scaling", {})
+        .get("grad_exchange", {})
+        .get("gate")
+    )
+    if not isinstance(gate, dict):
+        print("FAIL: the full run's shard_scaling section has no "
+              "grad_exchange gate object")
+        return 1
+    missing = [key for key in GRAD_EXCHANGE_REQUIRED_KEYS if key not in gate]
+    if missing:
+        print(f"FAIL: grad-exchange gate object is missing keys {missing}")
+        return 1
+    label = (
+        f"{gate['metric']}: measured {gate['measured']}x vs threshold "
+        f"{gate['threshold']}x"
+    )
+    if gate["measured"] is None or gate["measured"] < gate["threshold"]:
+        print(f"FAIL: {label}")
+        return 1
+    print(f"PASS: {label}")
+    return 0
+
+
 def check_shard_gate(run: dict) -> int:
     """The shard-scaling gate: conditional on the recorder's core count."""
     gate = run.get("results", {}).get("shard_scaling", {}).get("gate")
@@ -167,7 +245,13 @@ def main(argv: list[str]) -> int:
         print(f"FAIL: {path} records no full (non-smoke) benchmark run")
         return 1
     # Run every check so a failing report prints every verdict at once.
-    return max(check_shard_gate(run), check_cafe_gate(run), check_delta_gate(run))
+    return max(
+        check_shard_gate(run),
+        check_cafe_gate(run),
+        check_delta_gate(run),
+        check_optimizer_gate(run),
+        check_grad_exchange_gate(run),
+    )
 
 
 if __name__ == "__main__":

@@ -192,6 +192,7 @@ class StoreConfig:
     learning_rate: float = 0.05
     dtype: str = "float32"
     kernels: str = "numpy"
+    grad_exchange: str = "dense"
     fields: list | None = None
 
     def __post_init__(self):
@@ -222,6 +223,25 @@ class StoreConfig:
         if self.executor_workers is not None and self.executor_workers <= 0:
             raise ConfigurationError(
                 f"store.executor_workers must be positive, got {self.executor_workers}"
+            )
+        from repro.nn.optim import make_row_optimizer
+
+        try:
+            # Full validation (names, bracket options, ranges), state-free:
+            # row optimizers allocate lazily on first use.
+            make_row_optimizer(self.optimizer, self.learning_rate)
+        except ValueError as exc:
+            raise ConfigurationError(f"store.optimizer: {exc}") from None
+        from repro.store.grad_exchange import GRAD_EXCHANGE_MODES
+
+        if self.grad_exchange not in GRAD_EXCHANGE_MODES:
+            suggestion = difflib.get_close_matches(
+                self.grad_exchange, GRAD_EXCHANGE_MODES, n=1
+            )
+            hint = f"; did you mean '{suggestion[0]}'?" if suggestion else ""
+            raise ConfigurationError(
+                f"store.grad_exchange '{self.grad_exchange}' is not a known "
+                f"exchange mode{hint} (expected one of {sorted(GRAD_EXCHANGE_MODES)})"
             )
         from repro.kernels import resolve_kernel_backend_name
 

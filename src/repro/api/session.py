@@ -116,6 +116,7 @@ class Session:
             dtype=config.store.dtype,
             seed=config.seed,
             kernels=config.store.kernels,
+            grad_exchange=config.store.grad_exchange,
         )
 
     # ------------------------------------------------------------------ #

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.bench.group_bench import bench_table_group
 from repro.bench.legacy import LegacyCafeEmbedding, LegacyHotSketch, LegacyRowSGD
+from repro.bench.optim_bench import bench_optimizer_memory
 from repro.bench.runtime_bench import (
     bench_online_pipeline,
     bench_replica_serving,
@@ -308,6 +309,7 @@ def run_benchmarks(config: BenchConfig) -> dict:
             "online_pipeline": bench_online_pipeline(config),
             "replica_serving": bench_replica_serving(config),
             "table_group": bench_table_group(config),
+            "optimizer_memory": bench_optimizer_memory(config),
         },
     }
 

@@ -1,0 +1,164 @@
+"""Benchmark: AUC versus optimizer-state memory for the sketched optimizer.
+
+One section feeds ``BENCH_embedding.json`` (schema in ``docs/benchmarks.md``):
+
+* ``optimizer_memory`` — trains the same DLRM over the same synthetic Zipf
+  CTR workload under row optimizers holding decreasing per-row state:
+
+  - *adagrad*: exact row-wise Adagrad, one accumulator scalar per table row
+    (memory fraction 1.0 — the baseline quality and the memory ceiling);
+  - *sketched_adagrad* at ``frac=0.5`` and ``frac=0.25``: the accumulator
+    lives in a count-min sketch plus an exact heavy-hitter lane sized to
+    that fraction of the table rows
+    (:class:`repro.nn.optim.SketchedRowAdagrad`).
+
+  Each row records the optimizer's measured state scalars, its fraction of
+  the exact baseline, and the held-out AUC.  The ``gate`` object is the
+  acceptance criterion: sketched Adagrad at ≤ 0.25x the exact optimizer
+  memory must reach ≥ 0.98x the exact-Adagrad AUC — compression of the
+  *optimizer* state, not just the table, at near-baseline quality.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.schema import DatasetSchema, FieldSchema
+from repro.data.synthetic import SyntheticConfig, SyntheticCTRDataset
+from repro.embeddings import create_embedding
+from repro.models.dlrm import DLRM
+from repro.training.config import TrainingConfig
+from repro.training.trainer import Trainer
+
+#: The optimizer sweep: exact baseline first, then shrinking sketched state.
+OPTIMIZER_SPECS = (
+    "adagrad",
+    "sketched_adagrad[frac=0.5]",
+    "sketched_adagrad[frac=0.25]",
+)
+
+#: The acceptance gate: sketched at this memory fraction (or less) ...
+GATE_MEMORY_FRACTION = 0.25
+
+#: ... must reach this fraction of the exact-Adagrad AUC.
+GATE_AUC_RATIO = 0.98
+
+#: Table compression of the store under test (hash backend): small enough
+#: that ids collide and revisit rows, so the accumulator actually matters.
+TABLE_COMPRESSION = 4.0
+
+
+def _schema(config) -> DatasetSchema:
+    """A Zipf-skewed multi-field schema sized to the bench config."""
+    if config.smoke:
+        cards = (50, 400, 2000, 6000)
+    else:
+        cards = (100, 2000, 12000, 30000)
+    fields = [FieldSchema(f"f{i}", card) for i, card in enumerate(cards)]
+    return DatasetSchema(
+        name="optimizer_memory_bench",
+        fields=fields,
+        num_numerical=0,
+        embedding_dim=config.dim,
+        num_days=2,
+        zipf_exponent=config.zipf_exponent,
+    )
+
+
+def _train_and_eval(embedding, dataset, batch_size: int, seed: int) -> dict:
+    """One day of training + held-out AUC under one row optimizer."""
+    schema = dataset.schema
+    model = DLRM(embedding, schema.num_fields, schema.num_numerical, rng=seed)
+    trainer = Trainer(model, TrainingConfig(batch_size=batch_size, seed=seed))
+    start = time.perf_counter()
+    steps = 0
+    for batch in dataset.day_batches(0, batch_size):
+        trainer.train_step(batch)
+        steps += 1
+    elapsed = time.perf_counter() - start
+    auc = trainer.evaluate_auc(dataset.test_batch(2048))
+    return {
+        "steps": steps,
+        "steps_per_s": round(steps / elapsed, 2) if elapsed else 0.0,
+        "test_auc": round(float(auc), 4),
+    }
+
+
+def bench_optimizer_memory(config, specs: tuple[str, ...] = OPTIMIZER_SPECS) -> dict:
+    """AUC vs optimizer-state memory: exact Adagrad against sketched variants.
+
+    Every run shares the dataset, the table (same backend, same seed, same
+    compression) and the dense model seed — the optimizer's accumulator
+    representation is the only axis that moves.
+    """
+    schema = _schema(config)
+    dataset = SyntheticCTRDataset(
+        schema,
+        config=SyntheticConfig(
+            samples_per_day=2048 if config.smoke else 8192, seed=config.seed
+        ),
+    )
+    batch_size = 128 if config.smoke else 256
+
+    rows = []
+    exact_memory = None
+    exact_auc = None
+    for spec in specs:
+        embedding = create_embedding(
+            "hash",
+            num_features=schema.num_features,
+            dim=schema.embedding_dim,
+            compression_ratio=TABLE_COMPRESSION,
+            optimizer=spec,
+            learning_rate=0.1,
+            dtype=config.dtype,
+            rng=np.random.default_rng(config.seed + 17),
+        )
+        metrics = _train_and_eval(embedding, dataset, batch_size, config.seed)
+        memory = embedding.optimizer_memory_floats()
+        if spec == "adagrad":
+            exact_memory = memory
+            exact_auc = metrics["test_auc"]
+        rows.append(
+            {
+                "optimizer": spec,
+                "optimizer_memory_floats": int(memory),
+                "memory_fraction": (
+                    round(memory / exact_memory, 4) if exact_memory else None
+                ),
+                "auc_vs_exact": (
+                    round(metrics["test_auc"] / exact_auc, 4) if exact_auc else None
+                ),
+                **metrics,
+            }
+        )
+
+    gated = [
+        row
+        for row in rows
+        if row["optimizer"] != "adagrad"
+        and row["memory_fraction"] is not None
+        and row["memory_fraction"] <= GATE_MEMORY_FRACTION
+    ]
+    candidate = gated[-1] if gated else None
+    measured = candidate["auc_vs_exact"] if candidate else None
+    return {
+        "table_compression_ratio": TABLE_COMPRESSION,
+        "num_features": schema.num_features,
+        "exact_optimizer_floats": int(exact_memory or 0),
+        "rows": rows,
+        "gate": {
+            "metric": (
+                f"sketched_adagrad AUC / exact adagrad AUC at memory_fraction "
+                f"<= {GATE_MEMORY_FRACTION}"
+            ),
+            "threshold": GATE_AUC_RATIO,
+            "memory_fraction_limit": GATE_MEMORY_FRACTION,
+            "measured": measured,
+            "memory_fraction": candidate["memory_fraction"] if candidate else None,
+            "optimizer": candidate["optimizer"] if candidate else None,
+            "passed": measured is not None and measured >= GATE_AUC_RATIO,
+        },
+    }

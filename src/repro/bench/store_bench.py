@@ -42,6 +42,10 @@ SCALING_EXECUTORS = ("serial", "threads", "processes")
 GATE_SHARDS = 4
 GATE_THRESHOLD = 2.0
 
+#: The gradient-exchange gate: dense / sketched payload bytes per step at
+#: :data:`GATE_SHARDS` shards must reach this reduction factor.
+GRAD_EXCHANGE_THRESHOLD = 2.0
+
 
 def _shard_scaling_gate(
     measured: dict[tuple[str, str, int], float],
@@ -131,6 +135,70 @@ def bench_shard_scaling(
         "executors": list(executors),
         "rows": rows,
         "gate": _shard_scaling_gate(measured, methods),
+        "grad_exchange": bench_grad_exchange(config),
+    }
+
+
+def bench_grad_exchange(
+    config, num_shards: int = GATE_SHARDS, max_steps: int = 8
+) -> dict:
+    """Exchange payload bytes per train step, dense vs sketched, same workload.
+
+    The byte accounting is the payload size crossing the trainer→shard
+    boundary (``ExecutorStats.record_grad_exchange``) — actual shm traffic
+    under the process executor, the identically-sized in-process handoff
+    otherwise — so a serial run measures the same number the process runtime
+    ships, without paying worker startup in the benchmark.
+    """
+    from repro.bench.embedding_bench import make_workload
+
+    ids, grads = make_workload(config)
+    steps = min(ids.shape[0], max_steps)
+    rows = []
+    measured: dict[str, float] = {}
+    for mode in ("dense", "sketched"):
+        store = ShardedEmbeddingStore.build(
+            "hash",
+            num_features=config.num_features,
+            dim=config.dim,
+            num_shards=num_shards,
+            compression_ratio=config.compression_ratio,
+            seed=config.seed,
+            dtype=config.dtype,
+            grad_exchange=mode,
+        )
+        try:
+            for step in range(steps):
+                store.lookup(ids[step])
+                store.apply_gradients(ids[step], grads[step])
+            bytes_per_step = store.executor.stats.grad_bytes_per_step
+        finally:
+            store.executor.close()
+        measured[mode] = bytes_per_step
+        rows.append(
+            {
+                "mode": mode,
+                "num_shards": num_shards,
+                "steps": steps,
+                "grad_bytes_per_step": round(bytes_per_step, 1),
+            }
+        )
+    reduction = (
+        round(measured["dense"] / measured["sketched"], 3)
+        if measured.get("sketched")
+        else None
+    )
+    return {
+        "rows": rows,
+        "gate": {
+            "metric": (
+                f"dense / sketched grad_bytes_per_step at {num_shards} shards"
+            ),
+            "num_shards": num_shards,
+            "threshold": GRAD_EXCHANGE_THRESHOLD,
+            "measured": reduction,
+            "passed": reduction is not None and reduction >= GRAD_EXCHANGE_THRESHOLD,
+        },
     }
 
 

@@ -180,6 +180,7 @@ def create_embedding_store(
     dtype: np.dtype | str = DEFAULT_DTYPE,
     seed: int = 0,
     kernels: str | None = None,
+    grad_exchange: str = "dense",
     **kwargs,
 ):
     """Build an embedding *store* for a dataset schema from a spec string.
@@ -192,8 +193,11 @@ def create_embedding_store(
     the schema's attached ``field_configs`` when present, else uniform CAFE.
     ``num_shards`` applies only to the uniform case; sharding a table-group
     store happens *within* a group (the ``[shards=N]`` spec option), so
-    combining the two raises.  The store layer is imported lazily to keep
-    ``repro.embeddings`` free of a circular dependency on ``repro.store``.
+    combining the two raises.  ``grad_exchange`` selects the sharded store's
+    trainer→shard gradient wire format (``"dense"`` or ``"sketched"``, see
+    :mod:`repro.store.grad_exchange`) and applies only to the uniform case.
+    The store layer is imported lazily to keep ``repro.embeddings`` free of
+    a circular dependency on ``repro.store``.
     """
     from repro.store import ShardedEmbeddingStore
     from repro.store.table_group import TableGroupStore
@@ -207,6 +211,11 @@ def create_embedding_store(
             raise ValueError(
                 "num_shards does not apply to a table-group store; shard within a "
                 "group via the [shards=N] spec option or FieldConfig.num_shards"
+            )
+        if grad_exchange != "dense":
+            raise ValueError(
+                "grad_exchange='sketched' applies to the uniform sharded store; "
+                "table-group stores exchange gradients per group (dense only)"
             )
         return TableGroupStore.from_schema(
             schema,
@@ -254,6 +263,7 @@ def create_embedding_store(
         learning_rate=learning_rate,
         dtype=dtype,
         kernels=kernels,
+        grad_exchange=grad_exchange,
         **kwargs,
     )
 

@@ -353,3 +353,43 @@ class TableBackedEmbedding(CompressedEmbedding):
             }
             if optimizer_buffers:
                 optimizer.adopt_shared_buffers(optimizer_buffers)
+
+    # ------------------------------------------------------------------ #
+    # Optimizer state in checkpoints
+    # ------------------------------------------------------------------ #
+    def optimizer_memory_floats(self) -> int:
+        """State scalars the row optimizer currently holds (0 if stateless)."""
+        optimizer = getattr(self, "_optimizer", None)
+        return 0 if optimizer is None else int(optimizer.memory_floats())
+
+    def _optimizer_state_entries(self) -> dict[str, np.ndarray]:
+        """Row-optimizer state under ``optimizer.``-prefixed keys.
+
+        Backends merge these into their ``state_dict`` so restoring a
+        checkpoint resumes with the same effective per-row learning rates
+        (exact accumulators or sketch counters alike).
+        """
+        optimizer = getattr(self, "_optimizer", None)
+        if optimizer is None:
+            return {}
+        return {
+            f"optimizer.{key}": array for key, array in optimizer.state_dict().items()
+        }
+
+    def _load_optimizer_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore the ``optimizer.``-prefixed entries of ``state`` (if any).
+
+        Tolerates their absence so checkpoints written before optimizer
+        state was serialized keep loading (the optimizer simply restarts
+        cold, the pre-existing behaviour).
+        """
+        optimizer = getattr(self, "_optimizer", None)
+        if optimizer is None:
+            return
+        entries = {
+            key.split(".", 1)[1]: array
+            for key, array in state.items()
+            if key.startswith("optimizer.")
+        }
+        if entries:
+            optimizer.load_state_dict(entries)

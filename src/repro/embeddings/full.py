@@ -71,7 +71,9 @@ class FullEmbedding(TableBackedEmbedding):
         self.table = arrays["table"]
 
     def state_dict(self) -> dict[str, np.ndarray]:
-        return {"table": self.table.copy(), "step": np.asarray(self._step)}
+        state = {"table": self.table.copy(), "step": np.asarray(self._step)}
+        state.update(self._optimizer_state_entries())
+        return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         table = np.asarray(state["table"], dtype=self.dtype)
@@ -81,4 +83,5 @@ class FullEmbedding(TableBackedEmbedding):
             )
         self.table = table.copy()
         self._step = int(state["step"])
+        self._load_optimizer_state(state)
         self.invalidate_plan()

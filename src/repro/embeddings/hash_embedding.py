@@ -110,11 +110,13 @@ class HashEmbedding(TableBackedEmbedding):
         self.table = arrays["table"]
 
     def state_dict(self) -> dict[str, np.ndarray]:
-        return {
+        state = {
             "table": self.table.copy(),
             "hash_seed": np.asarray(self.hash_seed),
             "step": np.asarray(self._step),
         }
+        state.update(self._optimizer_state_entries())
+        return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         table = np.asarray(state["table"], dtype=self.dtype)
@@ -129,4 +131,5 @@ class HashEmbedding(TableBackedEmbedding):
             )
         self.table = table.copy()
         self._step = int(state["step"])
+        self._load_optimizer_state(state)
         self.invalidate_plan()

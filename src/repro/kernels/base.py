@@ -86,6 +86,34 @@ class KernelBackend(Protocol):
         """
         ...
 
+    def sketch_fold(
+        self,
+        table: np.ndarray,
+        positions: np.ndarray,
+        signs: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Fold signed vectors into a ``(depth, width, dim)`` sketch table.
+
+        For every depth row ``r`` and item ``i``, add
+        ``signs[r, i] * values[i]`` into ``table[r, positions[r, i]]``.
+        Unlike :meth:`sketch_insert`, collisions are expected — several items
+        hash to the same bucket and their contributions accumulate (the
+        linearity that makes the sketch mergeable).
+        """
+        ...
+
+    def sketch_recover(
+        self, table: np.ndarray, positions: np.ndarray, signs: np.ndarray
+    ) -> np.ndarray:
+        """Gather per-depth signed estimates from a sketch table.
+
+        Returns ``(depth, n, dim)`` where entry ``[r, i]`` is
+        ``signs[r, i] * table[r, positions[r, i]]``; the caller takes the
+        component-wise median over the depth axis.
+        """
+        ...
+
 
 class _KernelRegistration:
     __slots__ = ("name", "factory", "available", "description", "_instance")

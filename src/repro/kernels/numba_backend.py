@@ -64,7 +64,38 @@ def _compiled():
         for i in range(slots.shape[0]):
             scores[slots[i]] += add[i]
 
-    return segment_sum_2d, scatter_sgd, scatter_adagrad, sketch_insert
+    @numba.njit(cache=True)
+    def sketch_fold(table, positions, signs, values):
+        depth = table.shape[0]
+        n = values.shape[0]
+        d = values.shape[1]
+        for row in range(depth):
+            for i in range(n):
+                bucket = positions[row, i]
+                sign = signs[row, i]
+                for j in range(d):
+                    table[row, bucket, j] += sign * values[i, j]
+
+    @numba.njit(cache=True)
+    def sketch_recover(table, positions, signs, out):
+        depth = table.shape[0]
+        n = positions.shape[1]
+        d = table.shape[2]
+        for row in range(depth):
+            for i in range(n):
+                bucket = positions[row, i]
+                sign = signs[row, i]
+                for j in range(d):
+                    out[row, i, j] = sign * table[row, bucket, j]
+
+    return (
+        segment_sum_2d,
+        scatter_sgd,
+        scatter_adagrad,
+        sketch_insert,
+        sketch_fold,
+        sketch_recover,
+    )
 
 
 class NumbaKernelBackend:
@@ -78,6 +109,8 @@ class NumbaKernelBackend:
             self._scatter_sgd,
             self._scatter_adagrad,
             self._sketch_insert,
+            self._sketch_fold,
+            self._sketch_recover,
         ) = _compiled()
 
     def segment_sum(
@@ -119,3 +152,33 @@ class NumbaKernelBackend:
     ) -> None:
         if slots.shape[0]:
             self._sketch_insert(scores, np.ascontiguousarray(slots), np.ascontiguousarray(add))
+
+    def sketch_fold(
+        self,
+        table: np.ndarray,
+        positions: np.ndarray,
+        signs: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        if values.shape[0]:
+            self._sketch_fold(
+                table,
+                np.ascontiguousarray(positions),
+                np.ascontiguousarray(signs.astype(table.dtype, copy=False)),
+                np.ascontiguousarray(values.astype(table.dtype, copy=False)),
+            )
+
+    def sketch_recover(
+        self, table: np.ndarray, positions: np.ndarray, signs: np.ndarray
+    ) -> np.ndarray:
+        out = np.zeros(
+            (table.shape[0], positions.shape[1], table.shape[2]), dtype=table.dtype
+        )
+        if positions.shape[1]:
+            self._sketch_recover(
+                table,
+                np.ascontiguousarray(positions),
+                np.ascontiguousarray(signs.astype(table.dtype, copy=False)),
+                out,
+            )
+        return out

@@ -46,3 +46,26 @@ class NumpyKernelBackend:
         self, scores: np.ndarray, slots: np.ndarray, add: np.ndarray
     ) -> None:
         scores[slots] += add
+
+    def sketch_fold(
+        self,
+        table: np.ndarray,
+        positions: np.ndarray,
+        signs: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        # np.add.at resolves colliding buckets; this order defines the
+        # reference result CSVec's inline path matches bit-for-bit.
+        for row in range(table.shape[0]):
+            np.add.at(table[row], positions[row], signs[row][:, None] * values)
+
+    def sketch_recover(
+        self, table: np.ndarray, positions: np.ndarray, signs: np.ndarray
+    ) -> np.ndarray:
+        return np.stack(
+            [
+                signs[row][:, None] * table[row, positions[row]]
+                for row in range(table.shape[0])
+            ],
+            axis=0,
+        )

@@ -101,6 +101,9 @@ class ExecutorStats:
     fanout_wall_s: float = 0.0
     task_s: float = 0.0
     worker_s: float = 0.0
+    grad_bytes: int = 0
+    grad_steps: int = 0
+    grad_exchange_mode: str = ""
 
     def record_task(
         self, shard_index: int, seconds: float, worker_s: float | None = None
@@ -115,6 +118,25 @@ class ExecutorStats:
         self.fanouts += 1
         self.fanout_wall_s += seconds
 
+    def record_grad_exchange(self, nbytes: int, mode: str) -> None:
+        """Account one ``apply_gradients`` step's exchange payload.
+
+        ``nbytes`` is the total payload crossing the trainer→shard boundary
+        this step (summed over shards) — actual shm traffic for the process
+        executor, the identically-sized in-process handoff otherwise, so
+        dense-vs-sketched comparisons are transport-independent.
+        """
+        self.grad_bytes += int(nbytes)
+        self.grad_steps += 1
+        self.grad_exchange_mode = mode
+
+    @property
+    def grad_bytes_per_step(self) -> float:
+        """Mean exchange payload bytes per ``apply_gradients`` step."""
+        if self.grad_steps == 0:
+            return 0.0
+        return self.grad_bytes / self.grad_steps
+
     @property
     def parallel_efficiency(self) -> float:
         if self.fanout_wall_s <= 0.0:
@@ -127,6 +149,9 @@ class ExecutorStats:
         self.fanout_wall_s = 0.0
         self.task_s = 0.0
         self.worker_s = 0.0
+        self.grad_bytes = 0
+        self.grad_steps = 0
+        self.grad_exchange_mode = ""
 
     def as_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -141,6 +166,13 @@ class ExecutorStats:
         if self.worker_s > 0.0:
             out["worker_ms"] = round(self.worker_s * 1e3, 4)
             out["ipc_overhead_ms"] = round(max(self.task_s - self.worker_s, 0.0) * 1e3, 4)
+        if self.grad_steps:
+            out["grad_exchange"] = {
+                "mode": self.grad_exchange_mode,
+                "steps": self.grad_steps,
+                "bytes_total": self.grad_bytes,
+                "grad_bytes_per_step": round(self.grad_bytes_per_step, 1),
+            }
         return out
 
 

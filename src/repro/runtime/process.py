@@ -52,7 +52,9 @@ _OK, _ERR = "ok", "err"
 
 #: Ops after which the worker re-checks that its unit's live arrays still sit
 #: inside the writable generation (``load_state_dict`` re-points tables).
-_MUTATING_OPS = frozenset({"apply_gradients", "rebalance", "load_state_dict"})
+_MUTATING_OPS = frozenset(
+    {"apply_gradients", "apply_sketched_gradients", "rebalance", "load_state_dict"}
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -246,6 +248,29 @@ class _ShardHost(_UnitHost):
         return np.ascontiguousarray(self.unit.lookup(ids))
 
     def op_apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        self.unit.apply_gradients(ids, grads)
+
+    def op_apply_sketched_gradients(
+        self,
+        ids: np.ndarray,
+        heavy_index: np.ndarray,
+        heavy_grads: np.ndarray,
+        sketch_table: np.ndarray,
+        sketch_counts: np.ndarray,
+        seed: int,
+    ) -> None:
+        """Sketched gradient exchange: recover worker-side, then apply.
+
+        The arena arrays are read synchronously (heavy rows exactly, tail
+        rows from the sketch median) and the reconstructed dense update goes
+        through the unit's ordinary ``apply_gradients`` — the same recovery
+        code the in-process executors run (``apply_sketched_payload``).
+        """
+        from repro.store.grad_exchange import reconstruct_gradients
+
+        ids, grads = reconstruct_gradients(
+            ids, heavy_index, heavy_grads, sketch_table, sketch_counts, seed
+        )
         self.unit.apply_gradients(ids, grads)
 
     def op_rebalance(self) -> bool:

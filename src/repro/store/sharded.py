@@ -53,6 +53,7 @@ from repro.embeddings.base import CompressedEmbedding
 from repro.embeddings.plan import PlanStats
 from repro.runtime.executor import SerialShardExecutor, ShardExecutor, create_executor
 from repro.store.base import EmbeddingStore
+from repro.store.grad_exchange import GRAD_EXCHANGE_MODES
 from repro.store.snapshot import StoreSnapshot
 from repro.utils.hashing import hash_to_range
 
@@ -84,7 +85,13 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         shards: Sequence[CompressedEmbedding],
         shard_seed: int = DEFAULT_SHARD_SEED,
         executor: ShardExecutor | str | None = None,
+        grad_exchange: str = "dense",
     ):
+        if grad_exchange not in GRAD_EXCHANGE_MODES:
+            raise ValueError(
+                f"unknown grad_exchange mode '{grad_exchange}'; "
+                f"expected one of {GRAD_EXCHANGE_MODES}"
+            )
         shards = list(shards)
         if not shards:
             raise ValueError("ShardedEmbeddingStore requires at least one shard")
@@ -99,6 +106,10 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         self._shards = shards
         self.num_shards = len(shards)
         self.shard_seed = int(shard_seed)
+        self.grad_exchange = grad_exchange
+        # The most recent step's per-shard gradient sketches merged by
+        # addition (sketched exchange only); see merged_grad_sketch().
+        self._grad_sketch = None
         if executor is None:
             executor = SerialShardExecutor()
         elif isinstance(executor, str):
@@ -133,6 +144,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         shard_seed: int = DEFAULT_SHARD_SEED,
         seed: int = 0,
         executor: ShardExecutor | str | None = None,
+        grad_exchange: str = "dense",
         **kwargs,
     ) -> "ShardedEmbeddingStore":
         """Build ``num_shards`` shards of ``method`` splitting one budget.
@@ -161,7 +173,9 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
             )
             for index in range(num_shards)
         ]
-        return cls(shards, shard_seed=shard_seed, executor=executor)
+        return cls(
+            shards, shard_seed=shard_seed, executor=executor, grad_exchange=grad_exchange
+        )
 
     @property
     def shards(self) -> tuple[CompressedEmbedding, ...]:
@@ -316,15 +330,27 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         """
         ids = self._check_ids(ids)
         grads = self._check_grads(ids, grads)
+        if self.grad_exchange == "sketched":
+            self._apply_gradients_sketched(ids, grads)
+            return
+        from repro.store.grad_exchange import dense_payload_bytes
+
         if self.num_shards == 1:
             self._ensure_private(0)
             self._shards[0].apply_gradients(ids, grads)
             if self._write_log is not None:
                 self._log_write(0)
+            self.executor.stats.record_grad_exchange(
+                dense_payload_bytes(ids, grads), "dense"
+            )
             self._step += 1
             return
         plan = self.plan_for(ids)
         flat_grads = grads.reshape(len(plan), -1)
+        payload_bytes = sum(
+            dense_payload_bytes(plan.flat_ids[idx], flat_grads[idx])
+            for _, idx in self._shard_slices(plan)
+        )
         if self._remote:
             self.executor.run_ops(
                 [
@@ -332,6 +358,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
                     for shard_index, idx in self._shard_slices(plan)
                 ]
             )
+            self.executor.stats.record_grad_exchange(payload_bytes, "dense")
             self._step += 1
             return
         tasks = []
@@ -348,7 +375,83 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         if self._write_log is not None:
             for shard_index, _ in tasks:
                 self._log_write(shard_index)
+        self.executor.stats.record_grad_exchange(payload_bytes, "dense")
         self._step += 1
+
+    def _apply_gradients_sketched(self, ids: np.ndarray, grads: np.ndarray) -> None:
+        """Sketched exchange: fold, ship compact payloads, recover shard-side.
+
+        Per shard the trainer folds the sub-batch's deduplicated gradients
+        into a fixed-size :class:`~repro.sketch.CSVec`, ships
+        ``(unique ids, exact heavy gradients, sketch)`` and the shard
+        reconstructs — heavy rows exactly, tail rows from the sketch median.
+        All shards share one ``(width, depth, seed)`` derived from the whole
+        batch, so the per-shard sketches merge by addition into the global
+        per-step gradient sketch exposed by :meth:`merged_grad_sketch`.
+        The build/recover math is identical on every executor; only the
+        transport differs (shm arena for processes, in-process otherwise).
+        """
+        from repro.sketch.csvec import CSVec
+        from repro.store.grad_exchange import (
+            apply_sketched_payload,
+            build_sketched_payload,
+            exchange_width,
+        )
+
+        plan = self.plan_for(ids)
+        flat_grads = grads.reshape(len(plan), -1)
+        width = exchange_width(np.unique(plan.flat_ids).size)
+        seed = self.shard_seed + 7  # one exchange hash family per store
+        slices = list(self._shard_slices(plan))
+        payloads = [
+            build_sketched_payload(
+                plan.flat_ids[idx], flat_grads[idx], width=width, seed=seed
+            )
+            for _, idx in slices
+        ]
+        if self._remote:
+            self.executor.run_ops(
+                [
+                    (
+                        shard_index,
+                        "apply_sketched_gradients",
+                        (*payload.arrays(), payload.seed),
+                    )
+                    for (shard_index, _), payload in zip(slices, payloads)
+                ]
+            )
+        else:
+            tasks = []
+            for (shard_index, _), payload in zip(slices, payloads):
+                self._ensure_private(shard_index)
+                shard = self._shards[shard_index]
+                tasks.append(
+                    (shard_index, lambda s=shard, p=payload: apply_sketched_payload(s, p))
+                )
+            self.executor.run(tasks)
+            if self._write_log is not None:
+                for shard_index, _ in tasks:
+                    self._log_write(shard_index)
+        self._grad_sketch = CSVec.merge_all(
+            [
+                CSVec.from_state(p.sketch_table, p.sketch_counts, p.seed)
+                for p in payloads
+            ]
+        )
+        self.executor.stats.record_grad_exchange(
+            sum(payload.nbytes() for payload in payloads), "sketched"
+        )
+        self._step += 1
+
+    def merged_grad_sketch(self):
+        """The last step's shard gradient sketches merged by addition.
+
+        ``None`` until a sketched-exchange step ran.  Heavy rows of the
+        *global* batch can be recovered from it
+        (:meth:`~repro.sketch.CSVec.heavy_hitters` /
+        :meth:`~repro.sketch.CSVec.query`) without re-touching any shard.
+        """
+        return self._grad_sketch
 
     def rebalance(self) -> bool:
         """Fan one explicit adaptivity pass out across all shards.
@@ -539,6 +642,12 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         if self._remote:
             # Per-worker wall vs on-worker compute (IPC overhead) breakdown.
             info["executor_stats"] = self.executor.stats.as_dict()
+        stats = self.executor.stats
+        if stats.grad_steps:
+            info["grad_exchange"] = {
+                "mode": stats.grad_exchange_mode,
+                "grad_bytes_per_step": round(stats.grad_bytes_per_step, 1),
+            }
         return info
 
     def state_dict(self) -> dict[str, np.ndarray]:

@@ -31,6 +31,7 @@ def test_report_structure_and_write(tmp_path):
         "serving",
         "shard_parallel",
         "online_pipeline",
+        "optimizer_memory",
     ):
         assert section in results
     cafe = results["cafe_train_step"]
@@ -56,6 +57,27 @@ def test_report_structure_and_write(tmp_path):
     assert gate["threshold"] == 2.0 and gate["executor"] == "processes"
     assert gate["measured"] is None  # smoke run stops at 2 shards
     assert gate["cpu_count"] == report["env"]["cpu_count"]
+
+    # Gradient-exchange byte comparison rides in the shard_scaling section
+    # and measures even in smoke (serial store, payload accounting only).
+    exchange = scaling["grad_exchange"]
+    assert {row["mode"] for row in exchange["rows"]} == {"dense", "sketched"}
+    assert all(row["grad_bytes_per_step"] > 0 for row in exchange["rows"])
+    assert exchange["gate"]["measured"] is not None
+
+    # AUC-vs-optimizer-memory: the exact baseline plus >= 2 sketched
+    # memory fractions, even in smoke runs.
+    optim = results["optimizer_memory"]
+    fractions = [
+        row["memory_fraction"]
+        for row in optim["rows"]
+        if row["optimizer"] != "adagrad"
+    ]
+    assert len(fractions) >= 2
+    assert all(frac is not None and frac < 1.0 for frac in fractions)
+    assert optim["rows"][0]["optimizer"] == "adagrad"
+    assert optim["rows"][0]["memory_fraction"] == 1.0
+    assert "gate" in optim
     serving = results["serving"]
     assert all(row["requests_per_s"] > 0 and row["p99_ms"] >= row["p50_ms"] for row in serving["rows"])
     assert results["hotsketch_insert"]["speedup_vs_baseline"] > 0

@@ -20,6 +20,7 @@ DOC_PAGES = (
     "pipeline.md",
     "benchmarks.md",
     "runtime_processes.md",
+    "sketched_optimizers.md",
 )
 
 #: Modules whose docstrings carry runnable examples (the CI doctest set).
