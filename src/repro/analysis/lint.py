@@ -1,0 +1,318 @@
+"""Project-specific AST lint rules.
+
+Five rules encode contracts that previously existed only as prose:
+
+``capability-probe``
+    ``hasattr(...)`` (and ``callable(getattr(...))``) capability probing is
+    the registry's job; everywhere else routes through
+    :mod:`repro.api.registry` helpers so capabilities stay declared, not
+    guessed.  Applies to ``src/`` outside ``api/registry.py``.
+``shared-memory-import``
+    :mod:`multiprocessing.shared_memory` may only be imported by
+    ``runtime/shm.py`` — the one module that owns segment lifecycle (and
+    the create/unlink bookkeeping the sanitizer audits).
+``bench-wallclock``
+    ``time.time()`` drifts with NTP and has platform-dependent resolution;
+    timing paths must use ``time.perf_counter()`` (wall-clock *timestamps*
+    should come from :mod:`datetime`).
+``mutable-default``
+    Mutable default arguments (``def f(x=[])``) alias across calls.
+``implicit-dtype``
+    ``np.zeros/empty/ones`` without an explicit ``dtype`` in the
+    table-allocating modules (``embeddings/``, ``store/``, ``nn/optim.py``)
+    silently allocate float64 — twice the footprint the paper's memory
+    accounting assumes.
+
+Suppression grammar: a trailing ``# lint: allow[rule-id] <reason>`` on the
+flagged line keeps the violation out of strict mode; the linter still
+counts and reports every suppression so they stay auditable.  Several rules
+may be allowed at once: ``# lint: allow[rule-a, rule-b] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Violation",
+    "LintReport",
+    "lint_source",
+    "lint_tree",
+]
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9_,\s-]+)\]")
+
+#: Default roots scanned under the repo, when present.
+DEFAULT_ROOTS = ("src", "tests", "scripts")
+
+#: Modules where implicit-dtype allocations matter (table storage).
+_DTYPE_SCOPES = ("src/repro/embeddings/", "src/repro/store/", "src/repro/nn/optim.py")
+
+_NP_ALLOCATORS = frozenset({"zeros", "empty", "ones"})
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: an id, a summary, and a path scope."""
+
+    id: str
+    summary: str
+    scope: Callable[[str], bool]
+    scope_doc: str
+
+
+def _in_src(rel: str) -> bool:
+    return rel.startswith("src/")
+
+
+def _everywhere(rel: str) -> bool:
+    return True
+
+
+def _dtype_scope(rel: str) -> bool:
+    return any(rel.startswith(scope) or rel == scope.rstrip("/") for scope in _DTYPE_SCOPES)
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        id="capability-probe",
+        summary="hasattr/callable(getattr(...)) capability probing outside the registry",
+        scope=lambda rel: _in_src(rel) and rel != "src/repro/api/registry.py",
+        scope_doc="src/ except api/registry.py",
+    ),
+    Rule(
+        id="shared-memory-import",
+        summary="multiprocessing.shared_memory imported outside runtime/shm.py",
+        scope=lambda rel: rel != "src/repro/runtime/shm.py",
+        scope_doc="everywhere except runtime/shm.py",
+    ),
+    Rule(
+        id="bench-wallclock",
+        summary="time.time() in timing code (use time.perf_counter())",
+        scope=_everywhere,
+        scope_doc="everywhere",
+    ),
+    Rule(
+        id="mutable-default",
+        summary="mutable default argument (list/dict/set literal or constructor)",
+        scope=_everywhere,
+        scope_doc="everywhere",
+    ),
+    Rule(
+        id="implicit-dtype",
+        summary="np.zeros/empty/ones without an explicit dtype in table-allocating code",
+        scope=_dtype_scope,
+        scope_doc="embeddings/, store/, nn/optim.py",
+    ),
+)
+
+_RULES_BY_ID = {rule.id: rule for rule in RULES}
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}{mark}"
+
+
+@dataclass
+class LintReport:
+    violations: list[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> list[Violation]:
+        return [v for v in self.violations if not v.suppressed]
+
+    @property
+    def suppressed(self) -> list[Violation]:
+        return [v for v in self.violations if v.suppressed]
+
+    @property
+    def suppression_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.suppressed:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed and not self.parse_errors
+
+
+def _suppressions(source: str) -> dict[int, dict[str, str]]:
+    """Map line number -> {rule id -> reason} from ``# lint: allow[...]``."""
+    allowed: dict[int, dict[str, str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if not match:
+                continue
+            reason = token.string[match.end():].strip()
+            line = token.start[0]
+            for rule_id in match.group(1).split(","):
+                allowed.setdefault(line, {})[rule_id.strip()] = reason
+    except tokenize.TokenError:  # pragma: no cover - unparsable files caught by ast
+        pass
+    return allowed
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "bytearray"}
+    return False
+
+
+def _check_call(node: ast.Call) -> Iterator[tuple[str, str]]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == "hasattr":
+            yield (
+                "capability-probe",
+                "hasattr() capability probe; declare the capability in "
+                "repro.api.registry and call its helper instead",
+            )
+        elif func.id == "callable" and node.args and isinstance(node.args[0], ast.Call):
+            inner = node.args[0].func
+            if isinstance(inner, ast.Name) and inner.id == "getattr":
+                yield (
+                    "capability-probe",
+                    "callable(getattr(...)) capability probe; route through a "
+                    "repro.api.registry helper",
+                )
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "time"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        yield (
+            "bench-wallclock",
+            "time.time() is not monotonic; use time.perf_counter() for timing "
+            "(datetime for wall-clock timestamps)",
+        )
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _NP_ALLOCATORS
+        and isinstance(func.value, ast.Name)
+        and func.value.id in {"np", "numpy"}
+    ):
+        has_dtype = len(node.args) >= 2 or any(
+            keyword.arg == "dtype" for keyword in node.keywords
+        )
+        if not has_dtype:
+            yield (
+                "implicit-dtype",
+                f"np.{func.attr}() without an explicit dtype defaults to float64; "
+                "table-allocating code must pin its dtype",
+            )
+
+
+def _check_import(node: ast.Import | ast.ImportFrom) -> Iterator[tuple[str, str]]:
+    message = (
+        "multiprocessing.shared_memory must only be imported by runtime/shm.py; "
+        "use its create_segment/attach_segment helpers"
+    )
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "multiprocessing.shared_memory":
+                yield ("shared-memory-import", message)
+    else:
+        if node.module == "multiprocessing.shared_memory":
+            yield ("shared-memory-import", message)
+        elif node.module == "multiprocessing" and any(
+            alias.name == "shared_memory" for alias in node.names
+        ):
+            yield ("shared-memory-import", message)
+
+
+def lint_source(source: str, rel: str) -> list[Violation]:
+    """Lint one file's source; ``rel`` is its repo-relative posix path."""
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as error:
+        raise ValueError(f"{rel}: {error}") from error
+    allowed = _suppressions(source)
+    violations: list[Violation] = []
+
+    def emit(rule_id: str, line: int, message: str) -> None:
+        rule = _RULES_BY_ID[rule_id]
+        if not rule.scope(rel):
+            return
+        reason = allowed.get(line, {}).get(rule_id)
+        violations.append(
+            Violation(
+                rule=rule_id,
+                path=rel,
+                line=line,
+                message=message,
+                suppressed=reason is not None,
+                reason=reason or "",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            for rule_id, message in _check_call(node):
+                emit(rule_id, node.lineno, message)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for rule_id, message in _check_import(node):
+                emit(rule_id, node.lineno, message)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    emit(
+                        "mutable-default",
+                        default.lineno,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and construct inside the body",
+                    )
+    return violations
+
+
+def iter_python_files(repo: Path, roots: Iterable[str] = DEFAULT_ROOTS) -> Iterator[Path]:
+    for root in roots:
+        base = repo / root
+        if not base.is_dir():
+            continue
+        yield from sorted(base.rglob("*.py"))
+
+
+def lint_tree(repo: Path, roots: Iterable[str] = DEFAULT_ROOTS) -> LintReport:
+    """Lint every ``*.py`` under ``roots`` relative to ``repo``."""
+    report = LintReport()
+    for path in iter_python_files(repo, roots):
+        rel = path.relative_to(repo).as_posix()
+        report.files_scanned += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+            report.violations.extend(lint_source(source, rel))
+        except ValueError as error:
+            report.parse_errors.append(str(error))
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report

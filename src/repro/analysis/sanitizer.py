@@ -1,0 +1,277 @@
+"""Runtime sanitizer: sealed-memory freezing and a single-writer race detector.
+
+Two enforcement tiers live here:
+
+* **Always on** — :func:`freeze_arrays` marks every NumPy array reachable
+  from a published snapshot read-only (``flags.writeable = False``), so a
+  write-after-publish raises ``ValueError: assignment destination is
+  read-only`` instead of silently corrupting concurrent readers.  Freezing
+  is cheap (a flag flip, no copy) and composes with the store's
+  copy-on-write discipline: ``copy.deepcopy`` of a read-only array yields a
+  writable private copy, so the first post-snapshot write thaws naturally.
+* **Opt-in (``REPRO_SANITIZE=1``)** — the :func:`single_writer` decorator
+  tags store mutation entry points with the owning thread and raises a
+  descriptive :class:`SingleWriterViolation` when a second thread enters
+  mid-mutation; :mod:`repro.runtime.shm` adds refcount-underflow and
+  double-release guards on sealed generations, plus an end-of-run
+  ``/dev/shm`` leak audit armed by :func:`install_shm_audit`.
+
+The sanitize flag is read from the environment *per call*, so tests can
+flip it with ``monkeypatch.setenv`` without re-importing anything.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import sys
+import threading
+import weakref
+from functools import wraps
+from pathlib import Path
+from typing import Any, Callable, Mapping, TypeVar, cast
+
+import numpy as np
+
+__all__ = [
+    "SanitizerViolation",
+    "SingleWriterViolation",
+    "enabled",
+    "freeze_arrays",
+    "single_writer",
+    "install_shm_audit",
+    "shm_audit_baseline",
+    "shm_leaks",
+    "note_segment_created",
+    "note_segment_unlinked",
+    "tracked_segments",
+]
+
+_ENV_FLAG = "REPRO_SANITIZE"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def enabled() -> bool:
+    """Whether opt-in sanitize mode is on (``REPRO_SANITIZE=1``)."""
+    return os.environ.get(_ENV_FLAG, "").strip().lower() in _TRUTHY
+
+
+class SanitizerViolation(RuntimeError):
+    """An invariant breach the sanitizer turned into an error."""
+
+
+class SingleWriterViolation(SanitizerViolation):
+    """Two threads entered a store mutation at the same time.
+
+    The store contract is single-writer/many-readers: lookups may run
+    concurrently with one mutator, but two concurrent mutators corrupt
+    shared plan caches and COW bookkeeping.
+    """
+
+
+# --------------------------------------------------------------------- #
+# Sealed-array freezing
+# --------------------------------------------------------------------- #
+
+def freeze_arrays(obj: Any, _seen: set[int] | None = None) -> int:
+    """Set ``writeable=False`` on every array reachable from ``obj``.
+
+    Walks mappings, sequences, and the instance ``__dict__`` of objects
+    defined in this package (third-party objects are left alone — freezing
+    a foreign object's internals is not ours to do).  Returns the number of
+    arrays frozen.  Already-frozen arrays count as visited, not frozen.
+    """
+    if _seen is None:
+        _seen = set()
+    marker = id(obj)
+    if marker in _seen:
+        return 0
+    _seen.add(marker)
+
+    if isinstance(obj, np.ndarray):
+        if obj.flags.writeable:
+            obj.setflags(write=False)
+            return 1
+        return 0
+
+    frozen = 0
+    if isinstance(obj, Mapping):
+        for value in obj.values():
+            frozen += freeze_arrays(value, _seen)
+        return frozen
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            frozen += freeze_arrays(item, _seen)
+        return frozen
+
+    module = type(obj).__module__ or ""
+    if module == "repro" or module.startswith("repro."):
+        state = getattr(obj, "__dict__", None)
+        if state is not None:
+            for value in state.values():
+                frozen += freeze_arrays(value, _seen)
+        for klass in type(obj).__mro__:
+            slots = klass.__dict__.get("__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for slot in slots:
+                frozen += freeze_arrays(getattr(obj, slot, None), _seen)
+    return frozen
+
+
+# --------------------------------------------------------------------- #
+# Single-writer race detector
+# --------------------------------------------------------------------- #
+
+class _WriterGuard:
+    """Per-store mutation guard: owning thread + reentrancy depth."""
+
+    __slots__ = ("lock", "owner", "depth")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.owner: threading.Thread | None = None
+        self.depth = 0
+
+
+#: Guards live *outside* the store instances so stores stay deep-copyable
+#: and picklable (a ``threading.Lock`` attribute would break both).
+_guards: "weakref.WeakKeyDictionary[Any, _WriterGuard]" = weakref.WeakKeyDictionary()
+_guards_lock = threading.Lock()
+
+_Method = TypeVar("_Method", bound=Callable[..., Any])
+
+
+def _guard_for(obj: Any) -> _WriterGuard:
+    with _guards_lock:
+        guard = _guards.get(obj)
+        if guard is None:
+            guard = _WriterGuard()
+            _guards[obj] = guard
+        return guard
+
+
+def single_writer(method: _Method) -> _Method:
+    """Tag a store mutation entry point with the single-writer detector.
+
+    A no-op unless sanitize mode is on.  Reentrant calls from the owning
+    thread pass (``load_state_dict`` calls ``rebalance`` internally); a
+    second thread entering while another's mutation is in flight raises
+    :class:`SingleWriterViolation` naming both threads and the method.
+    """
+
+    @wraps(method)
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        if not enabled():
+            return method(self, *args, **kwargs)
+        guard = _guard_for(self)
+        me = threading.current_thread()
+        with guard.lock:
+            if guard.owner is not None and guard.owner is not me:
+                raise SingleWriterViolation(
+                    f"single-writer violation: thread {me.name!r} entered "
+                    f"{type(self).__name__}.{method.__name__} while thread "
+                    f"{guard.owner.name!r} is mid-mutation; the store contract "
+                    "is one writer, many readers"
+                )
+            guard.owner = me
+            guard.depth += 1
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            with guard.lock:
+                guard.depth -= 1
+                if guard.depth == 0:
+                    guard.owner = None
+
+    return cast(_Method, wrapper)
+
+
+# --------------------------------------------------------------------- #
+# /dev/shm leak audit
+# --------------------------------------------------------------------- #
+
+_SHM_DIR = Path("/dev/shm")
+
+#: Segment names created through :func:`repro.runtime.shm.create_segment`
+#: and not yet unlinked — the portable half of the audit (works even where
+#: ``/dev/shm`` is not a real directory).
+_tracked: set[str] = set()
+_tracked_lock = threading.Lock()
+
+_baseline: set[str] | None = None
+_audit_armed = False
+
+
+def note_segment_created(name: str) -> None:
+    with _tracked_lock:
+        _tracked.add(name)
+
+
+def note_segment_unlinked(name: str) -> None:
+    with _tracked_lock:
+        _tracked.discard(name)
+
+
+def tracked_segments() -> set[str]:
+    """Names of segments created but not yet unlinked (sanitize mode)."""
+    with _tracked_lock:
+        return set(_tracked)
+
+
+def _shm_names() -> set[str]:
+    if not _SHM_DIR.is_dir():
+        return set()
+    # Python names anonymous segments psm_<token>; ignore unrelated tenants.
+    return {entry.name for entry in _SHM_DIR.iterdir() if entry.name.startswith("psm_")}
+
+
+def shm_audit_baseline() -> set[str]:
+    """Record the current ``/dev/shm`` population as the leak baseline."""
+    global _baseline
+    _baseline = _shm_names()
+    return set(_baseline)
+
+
+def shm_leaks() -> set[str]:
+    """Segments that outlived their owners.
+
+    The union of the filesystem diff against the baseline and any
+    create-tracked segment that still exists on disk (a tracked name no
+    longer present was unlinked by the parent, which is the contract).
+    """
+    if _SHM_DIR.is_dir():
+        names = _shm_names()
+        filesystem = names - _baseline if _baseline is not None else set()
+        return filesystem | (tracked_segments() & names)
+    return tracked_segments()
+
+
+def install_shm_audit() -> bool:
+    """Arm the end-of-run leak audit; returns True the first time it arms.
+
+    A no-op unless sanitize mode is on, and parent-process only — workers
+    never unlink (the parent settles the books), so a worker-side audit
+    would flag segments the parent is still responsible for.  Called by
+    :mod:`repro.runtime.shm` at import time, so the baseline is captured
+    before any segment exists.
+    """
+    global _audit_armed
+    if not enabled() or _audit_armed:
+        return False
+    if multiprocessing.parent_process() is not None:
+        return False
+    shm_audit_baseline()
+    atexit.register(_report_leaks)
+    _audit_armed = True
+    return True
+
+
+def _report_leaks() -> None:  # pragma: no cover - exercised via atexit
+    leaked = sorted(shm_leaks())
+    if leaked:
+        print(
+            "[repro.sanitize] leaked shared-memory segments: " + ", ".join(leaked),
+            file=sys.stderr,
+        )

@@ -19,6 +19,9 @@ Subcommands:
                      ``python -m repro experiment run fig8 --scale tiny``)
 ``validate-config``  eagerly validate config files / directories
 ``describe``         print the fully resolved plan for a config
+``analyze``          project lint rules + import-layering checker
+                     (``--strict`` for CI, ``--write-graph`` to regenerate
+                     ``docs/import_graph.md``)
 """
 
 from __future__ import annotations
@@ -78,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         "validate-config", help="validate config files (or directories of them)")
     validate.add_argument("paths", nargs="+", type=Path,
                           help="JSON config files or directories to scan")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="project lint rules + import-layering checker")
+    from repro.analysis.cli import add_analyze_arguments
+
+    add_analyze_arguments(analyze)
 
     # Forwarding subcommands: registered for --help discoverability; their
     # arguments are passed through verbatim (main() short-circuits before
@@ -164,6 +173,11 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+
+    if args.command == "analyze":
+        from repro.analysis.cli import run_analyze
+
+        return run_analyze(args)
 
     if args.command == "serve":
         if args.replicas is not None:

@@ -124,7 +124,7 @@ def _ensure_builtins() -> None:
     global _builtins_loaded
     if not _builtins_loaded:
         _builtins_loaded = True
-        import repro.embeddings  # noqa: F401  (registers on import)
+        import repro.embeddings  # imported for its registration side effect
 
 
 def register_backend(
@@ -289,6 +289,64 @@ def supports_process_parallel(obj: Any) -> bool:
     if caps is not None:
         return caps.supports_process_parallel
     return True
+
+
+def supports_sketch(obj: Any) -> bool:
+    """Whether ``obj`` carries a hot-feature sketch worth merging.
+
+    True for backends exposing :meth:`merged_sketch` (composite stores) or
+    a non-``None`` ``sketch`` attribute (CAFE-style layers).  This is a
+    structural probe by design — ``BackendCapabilities`` has no sketch flag
+    because sketches are an emergent property of composition — and the
+    registry is the one module allowed to probe.
+    """
+    if callable(getattr(obj, "merged_sketch", None)):
+        return True
+    return getattr(obj, "sketch", None) is not None
+
+
+def sketch_of(obj: Any) -> Any:
+    """The backend's hot-feature sketch, merged when it is a composite.
+
+    Resolves :meth:`merged_sketch` first (sharded / table-group stores merge
+    their members' sketches), then the plain ``sketch`` attribute; ``None``
+    when the backend tracks no sketch.
+    """
+    merged = getattr(obj, "merged_sketch", None)
+    if callable(merged):
+        return merged()
+    return getattr(obj, "sketch", None)
+
+
+def supports_kernel_backend(obj: Any) -> bool:
+    """Whether ``obj`` accepts :meth:`set_kernel_backend` (fused kernels)."""
+    return callable(getattr(obj, "set_kernel_backend", None))
+
+
+def shard_count(obj: Any) -> int | None:
+    """Number of shards behind ``obj`` when it is a sharded composite.
+
+    ``None`` for plain (unsharded) embedding layers; used by ``describe()``
+    surfaces and the flat-checkpoint migration path to tell a
+    sharded-within-group backend from a bare layer without probing.
+    """
+    count = getattr(obj, "num_shards", None)
+    return int(count) if count is not None else None
+
+
+def instance_capabilities(obj: Any) -> dict[str, bool]:
+    """One-shot capability row for an instance (what shard proxies carry).
+
+    The process runtime probes a backend exactly once at adopt time and
+    pins the answers onto its :class:`~repro.runtime.process.ShardHandle`,
+    because a structural probe on the proxy itself would always say yes.
+    """
+    return {
+        "rebalance": supports_rebalance(obj),
+        "state_dict": supports_state_dict(obj),
+        "load_state_dict": supports_load_state_dict(obj),
+        "sketch": supports_sketch(obj),
+    }
 
 
 def registry_summary() -> list[dict[str, Any]]:

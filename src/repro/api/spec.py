@@ -216,8 +216,8 @@ def resolve_field_configs(
                     hash_seed=entry.option_int("seed"),
                     num_shards=int(entry.options.get("shards", 1)),
                 )
-    assert all(config is not None for config in configs)
-    return configs  # type: ignore[return-value]
+    # The implicit "rest" fallback guarantees every slot is assigned.
+    return [config for config in configs if config is not None]
 
 
 def field_configs_from_spec(

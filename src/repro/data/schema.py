@@ -23,14 +23,27 @@ from dataclasses import dataclass, field
 import numpy as np
 
 # Canonical spec-string grammar (classes, thresholds, parser) lives in
-# repro.api.spec; these re-exports keep the historical import paths working.
-from repro.api.spec import (  # noqa: F401  (re-exported)
+# repro.api.spec; these re-exports keep the historical import paths working
+# (they are re-published via __all__ below).
+from repro.api.spec import (
     DEFAULT_TAIL_MIN,
     DEFAULT_TINY_MAX,
     FIELD_CLASSES,
 )
 from repro.api.spec import field_configs_from_spec as _field_configs_from_spec
 from repro.errors import DataError
+
+__all__ = [
+    "DEFAULT_TAIL_MIN",
+    "DEFAULT_TINY_MAX",
+    "FIELD_CLASSES",
+    "FieldSchema",
+    "FieldConfig",
+    "DatasetSchema",
+    "classify_fields",
+    "field_configs_from_spec",
+    "make_preset",
+]
 
 
 @dataclass(frozen=True)

@@ -164,7 +164,7 @@ def create_embedding(
         rng=rng,
         **kwargs,
     )
-    if resolved_kernels is not None and hasattr(embedding, "set_kernel_backend"):
+    if resolved_kernels is not None and _registry.supports_kernel_backend(embedding):
         embedding.set_kernel_backend(resolved_kernels)
     return embedding
 

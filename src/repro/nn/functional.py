@@ -141,7 +141,7 @@ def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
 # --------------------------------------------------------------------------- #
 # Reductions
 # --------------------------------------------------------------------------- #
-def sum(x: Tensor, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+def sum(x: Tensor, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:  # shadows the builtin on purpose: mirrors np.sum in the functional namespace
     x = ensure_tensor(x)
     out_data = x.data.sum(axis=axis, keepdims=keepdims)
 

@@ -39,7 +39,6 @@ import os
 import pickle
 import time
 import weakref
-from multiprocessing import shared_memory
 from typing import Any, Sequence
 
 import numpy as np
@@ -95,13 +94,10 @@ def _load_grafted(data: bytes, views: dict[str, np.ndarray]) -> Any:
 def _unlink_segment(name: str) -> None:
     """Attach-and-unlink a segment by name (parent-side cleanup)."""
     try:
-        segment = shared_memory.SharedMemory(name=name)
+        segment = shm_lib.attach_segment(name)
     except FileNotFoundError:
         return
-    try:
-        segment.unlink()
-    except FileNotFoundError:  # pragma: no cover - raced with another unlink
-        pass
+    shm_lib.unlink_segment(segment)
     shm_lib.close_segment(segment)
 
 
@@ -113,7 +109,7 @@ class _UnitHost:
 
     def __init__(self, unit: Any):
         self.unit = unit
-        self.gen: shared_memory.SharedMemory | None = None
+        self.gen: shm_lib.Segment | None = None
         self.gen_layout: shm_lib.ArrayLayout | None = None
         self.gen_views: dict[str, np.ndarray] = {}
 
@@ -147,7 +143,7 @@ class _UnitHost:
         ):
             return None, None
         layout, size = shm_lib.layout_for(buffers)
-        segment = shared_memory.SharedMemory(create=True, size=size)
+        segment = shm_lib.create_segment(size)
         shm_lib.write_arrays(segment.buf, layout, buffers)
         views = shm_lib.attach_arrays(segment.buf, layout, writable=True)
         self._adopt(views)
@@ -156,7 +152,7 @@ class _UnitHost:
 
     def _swap_gen(
         self,
-        segment: shared_memory.SharedMemory,
+        segment: shm_lib.Segment,
         layout: shm_lib.ArrayLayout,
         views: dict[str, np.ndarray],
     ) -> str | None:
@@ -182,7 +178,7 @@ class _UnitHost:
         buffer_ids = {id(array): key for key, array in self.gen_views.items()}
         stripped = _dump_stripped(self._seal_value(), buffer_ids)
         sealed_name, sealed_layout = self.gen.name, list(self.gen_layout or [])
-        fresh = shared_memory.SharedMemory(create=True, size=self.gen.size)
+        fresh = shm_lib.create_segment(self.gen.size)
         length = min(len(fresh.buf), len(self.gen.buf))
         fresh.buf[:length] = self.gen.buf[:length]
         views = shm_lib.attach_arrays(fresh.buf, sealed_layout, writable=True)
@@ -212,13 +208,7 @@ class _UnitHost:
 def _instance_caps(backend: Any) -> dict[str, bool]:
     from repro.api import registry as capability_registry
 
-    return {
-        "rebalance": capability_registry.supports_rebalance(backend),
-        "state_dict": capability_registry.supports_state_dict(backend),
-        "load_state_dict": capability_registry.supports_load_state_dict(backend),
-        "sketch": hasattr(backend, "merged_sketch")
-        or getattr(backend, "sketch", None) is not None,
-    }
+    return capability_registry.instance_capabilities(backend)
 
 
 class _ShardHost(_UnitHost):
@@ -277,7 +267,9 @@ class _ShardHost(_UnitHost):
         return bool(self.unit.rebalance())
 
     def op_sketch(self) -> Any:
-        return getattr(self.unit, "sketch", None)
+        from repro.api import registry as capability_registry
+
+        return capability_registry.sketch_of(self.unit)
 
     def op_state_dict(self) -> dict:
         return self.unit.state_dict()
@@ -297,7 +289,9 @@ class _ShardHost(_UnitHost):
         return int(self.unit.step())
 
     def op_set_kernel_backend(self, name: str) -> str | None:
-        if hasattr(self.unit, "set_kernel_backend"):
+        from repro.api import registry as capability_registry
+
+        if capability_registry.supports_kernel_backend(self.unit):
             return self.unit.set_kernel_backend(name)
         return None
 
@@ -338,10 +332,9 @@ class _GroupHost(_UnitHost):
         return bool(self.unit.backend.rebalance())
 
     def op_sketch(self) -> Any:
-        backend = self.unit.backend
-        if hasattr(backend, "merged_sketch"):
-            return backend.merged_sketch()
-        return getattr(backend, "sketch", None)
+        from repro.api import registry as capability_registry
+
+        return capability_registry.sketch_of(self.unit.backend)
 
     def op_state_dict(self) -> dict:
         projection = self.unit.projection
@@ -367,7 +360,9 @@ class _GroupHost(_UnitHost):
         return int(self.unit.backend.step())
 
     def op_set_kernel_backend(self, name: str) -> str | None:
-        if hasattr(self.unit.backend, "set_kernel_backend"):
+        from repro.api import registry as capability_registry
+
+        if capability_registry.supports_kernel_backend(self.unit.backend):
             return self.unit.backend.set_kernel_backend(name)
         return None
 
@@ -448,7 +443,7 @@ def _worker_main(conn, worker_index: int, cpu_id: int | None, req_name: str, res
                     conn.send((_OK, encoded, compute_s, grown, gen_name, retired))
                 else:
                     raise ValueError(f"unknown worker op {op!r}")
-            except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            except Exception as exc:  # deliberately broad: forwarded to the parent
                 _safe_send(conn, (_ERR, exc))
     finally:
         for host in hosts.values():

@@ -34,10 +34,43 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro.analysis import sanitizer
+
 #: One packed array: ``(key, dtype string, shape, byte offset)``.
 ArrayLayout = list[tuple[str, str, tuple[int, ...], int]]
 
+#: The segment handle type; the rest of the package goes through the
+#: helpers below instead of importing :mod:`multiprocessing.shared_memory`
+#: (this module is the one place allowed to — the lint enforces it).
+Segment = shared_memory.SharedMemory
+
 _ALIGNMENT = 64  # cache-line align every array inside a segment
+
+# Capture the /dev/shm baseline before any segment exists (sanitize mode).
+sanitizer.install_shm_audit()
+
+
+def create_segment(size: int, name: str | None = None) -> Segment:
+    """Create a new shared-memory segment (the only creation entry point)."""
+    segment = shared_memory.SharedMemory(create=True, size=max(int(size), 1), name=name)
+    if sanitizer.enabled():
+        sanitizer.note_segment_created(segment.name)
+    return segment
+
+
+def attach_segment(name: str) -> Segment:
+    """Attach to a segment the other side created."""
+    return shared_memory.SharedMemory(name=name)
+
+
+def unlink_segment(segment: Segment) -> None:
+    """Unlink a segment, tolerating a prior unlink (parent-side cleanup)."""
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    if sanitizer.enabled():
+        sanitizer.note_segment_unlinked(segment.name)
 
 
 def _aligned(offset: int) -> int:
@@ -104,9 +137,9 @@ class ShmArena:
         unlink_retired: bool = True,
     ):
         if create:
-            self.segment = shared_memory.SharedMemory(create=True, size=size, name=name)
+            self.segment = create_segment(size, name=name)
         else:
-            self.segment = shared_memory.SharedMemory(name=name)
+            self.segment = attach_segment(name)
         #: Only the parent side unlinks; workers just close their mappings.
         self.unlink_retired = bool(unlink_retired)
         self._cursor = 0
@@ -128,14 +161,14 @@ class ShmArena:
         if name == self.segment.name:
             return
         self._retired.append(self.segment)
-        self.segment = shared_memory.SharedMemory(name=name)
+        self.segment = attach_segment(name)
         self._cursor = 0
 
     def grow(self, minimum: int) -> str:
         """Replace the segment with one at least ``minimum`` bytes large."""
         new_size = max(self.segment.size * 2, _aligned(minimum))
         self._retired.append(self.segment)
-        self.segment = shared_memory.SharedMemory(create=True, size=new_size)
+        self.segment = create_segment(new_size)
         self._cursor = 0
         return self.segment.name
 
@@ -174,20 +207,14 @@ class ShmArena:
         for segment in self._retired:
             close_segment(segment)
             if self.unlink_retired:
-                try:
-                    segment.unlink()
-                except FileNotFoundError:
-                    pass
+                unlink_segment(segment)
         self._retired.clear()
 
     def close(self, unlink: bool) -> None:
         self.reclaim()
         close_segment(self.segment)
         if unlink:
-            try:
-                self.segment.unlink()
-            except FileNotFoundError:
-                pass
+            unlink_segment(self.segment)
 
 
 class SealedGeneration:
@@ -204,7 +231,7 @@ class SealedGeneration:
     _live_lock = threading.Lock()
 
     def __init__(self, name: str, layout: ArrayLayout):
-        self.segment = shared_memory.SharedMemory(name=name)
+        self.segment = attach_segment(name)
         self.layout = layout
         self._refs = 0
         self._lock = threading.Lock()
@@ -227,6 +254,12 @@ class SealedGeneration:
     def release(self) -> None:
         with self._lock:
             self._refs -= 1
+            if self._refs < 0 and sanitizer.enabled():
+                raise sanitizer.SanitizerViolation(
+                    f"refcount underflow on sealed generation {self.segment.name!r}: "
+                    f"release() called {-self._refs} more time(s) than retain(); "
+                    "each sealed-view owner must release exactly once"
+                )
             if self._refs > 0 or self._released:
                 return
             self._released = True
@@ -242,10 +275,7 @@ class SealedGeneration:
 
     def _destroy(self) -> None:
         close_segment(self.segment)
-        try:
-            self.segment.unlink()
-        except FileNotFoundError:
-            pass
+        unlink_segment(self.segment)
         with SealedGeneration._live_lock:
             SealedGeneration._live.discard(self)
 
@@ -282,6 +312,12 @@ class GenerationLease:
     def release(self) -> None:
         if self._finalizer.detach() is not None:
             self.generation.release()
+        elif sanitizer.enabled():
+            raise sanitizer.SanitizerViolation(
+                f"double release of generation lease on {self.generation.name!r}; "
+                "a lease may be released exactly once (the finalizer had already "
+                "detached)"
+            )
 
     def __deepcopy__(self, memo: dict) -> None:
         # A deep copy of a sealed view owner copies the mapped arrays into

@@ -48,6 +48,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.sanitizer import freeze_arrays, single_writer
 from repro.api import registry as capability_registry
 from repro.embeddings.base import CompressedEmbedding
 from repro.embeddings.plan import PlanStats
@@ -236,7 +237,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         if caps is not None:
             return bool(caps.get(capability, False))
         if capability == "sketch":
-            return hasattr(shard, "sketch")
+            return capability_registry.supports_sketch(shard)
         return getattr(capability_registry, "supports_" + capability)(shard)
 
     # ------------------------------------------------------------------ #
@@ -280,7 +281,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
             )
         else:
             for shard in self._shards:
-                if hasattr(shard, "set_kernel_backend"):
+                if capability_registry.supports_kernel_backend(shard):
                     shard.set_kernel_backend(resolved)
         return resolved
 
@@ -320,6 +321,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         )
         return out.reshape(plan.ids_shape + (self.dim,))
 
+    @single_writer
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
         """Scatter per-lookup gradients to the owning shards.
 
@@ -453,6 +455,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         """
         return self._grad_sketch
 
+    @single_writer
     def rebalance(self) -> bool:
         """Fan one explicit adaptivity pass out across all shards.
 
@@ -579,7 +582,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
         else:
             self._cow_pending = [True] * self.num_shards
             shards = tuple(self._shards)
-        return StoreSnapshot(
+        view = StoreSnapshot(
             shards=shards,
             shard_seed=self.shard_seed,
             dim=self.dim,
@@ -588,6 +591,11 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
             version=self.snapshots_taken,
             step=self._step,
         )
+        # Published arrays are read-only from here on: a stray serve-path
+        # write raises instead of corrupting readers.  Training thaws shards
+        # naturally — the COW deep copy yields private writable arrays.
+        freeze_arrays(view)
+        return view
 
     def _ensure_private(self, shard_index: int) -> None:
         if self._remote or not self._cow_pending[shard_index]:
@@ -665,6 +673,7 @@ class ShardedEmbeddingStore(CompressedEmbedding, EmbeddingStore):
                 state[f"shard{index}.{key}"] = value
         return state
 
+    @single_writer
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Restore all shards from :meth:`state_dict` output (shard counts must
         match); also absorbs a pre-store single-layer checkpoint into a

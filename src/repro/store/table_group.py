@@ -46,6 +46,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.sanitizer import freeze_arrays, single_writer
 from repro.api import registry as capability_registry
 from repro.data.schema import DatasetSchema, FieldConfig, field_configs_from_spec
 from repro.embeddings.base import DEFAULT_DTYPE, CompressedEmbedding
@@ -149,8 +150,9 @@ class TableGroup:
             "memory_floats": self.memory_floats(),
             "compression_ratio": round(native_params / max(self.memory_floats(), 1), 2),
         }
-        if hasattr(self.backend, "num_shards"):
-            info["num_shards"] = self.backend.num_shards
+        shards = capability_registry.shard_count(self.backend)
+        if shards is not None:
+            info["num_shards"] = shards
         return info
 
 
@@ -510,10 +512,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         if caps is not None:
             return bool(caps.get(capability, False))
         if capability == "sketch":
-            return (
-                hasattr(group.backend, "merged_sketch")
-                or getattr(group.backend, "sketch", None) is not None
-            )
+            return capability_registry.supports_sketch(group.backend)
         return getattr(capability_registry, "supports_" + capability)(group.backend)
 
     def set_executor(self, executor: ShardExecutor | str) -> None:
@@ -551,7 +550,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
             )
         else:
             for group in self._groups:
-                if hasattr(group.backend, "set_kernel_backend"):
+                if capability_registry.supports_kernel_backend(group.backend):
                     group.backend.set_kernel_backend(resolved)
         return resolved
 
@@ -593,6 +592,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         )
         return out
 
+    @single_writer
     def apply_gradients(self, ids: np.ndarray, grads: np.ndarray) -> None:
         """Scatter fused gradients back into every group.
 
@@ -630,6 +630,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         self.executor.run(tasks)
         self._step += 1
 
+    @single_writer
     def rebalance(self) -> bool:
         """Fan one explicit adaptivity pass out across rebalance-capable groups."""
         supported = [
@@ -674,21 +675,13 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         self.snapshots_taken += 1
         if self._remote:
             sealed = self.executor.seal_units()
-            return TableGroupSnapshot(
-                groups=[
-                    (backend, group.field_indices.copy(), group.global_shift.copy(), projection)
-                    for (backend, projection), group in zip(sealed, self._groups)
-                ],
-                dim=self.dim,
-                num_fields=self.num_fields,
-                num_features=self.num_features,
-                dtype=self.dtype,
-                version=self.snapshots_taken,
-                step=self._step,
-            )
-        self._cow_pending = [True] * self.num_groups
-        return TableGroupSnapshot(
-            groups=[
+            groups = [
+                (backend, group.field_indices.copy(), group.global_shift.copy(), projection)
+                for (backend, projection), group in zip(sealed, self._groups)
+            ]
+        else:
+            self._cow_pending = [True] * self.num_groups
+            groups = [
                 (
                     group.backend,
                     group.field_indices.copy(),
@@ -696,7 +689,9 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
                     None if group.projection is None else group.projection.copy(),
                 )
                 for group in self._groups
-            ],
+            ]
+        view = TableGroupSnapshot(
+            groups=groups,
             dim=self.dim,
             num_fields=self.num_fields,
             num_features=self.num_features,
@@ -704,6 +699,10 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
             version=self.snapshots_taken,
             step=self._step,
         )
+        # Published arrays are read-only from here on (see the sharded-store
+        # snapshot); the COW deep copy thaws the live side on its next write.
+        freeze_arrays(view)
+        return view
 
     def _ensure_private(self, group_index: int) -> None:
         if self._remote or not self._cow_pending[group_index]:
@@ -737,10 +736,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
         else:
             sketches = []
             for group in self._groups:
-                if hasattr(group.backend, "merged_sketch"):
-                    sketch = group.backend.merged_sketch()
-                else:
-                    sketch = getattr(group.backend, "sketch", None)
+                sketch = capability_registry.sketch_of(group.backend)
                 if sketch is not None:
                     sketches.append(sketch)
         return self._merge_sketches(sketches)
@@ -809,6 +805,7 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
                 state[f"group{index}.backend.{key}"] = value
         return state
 
+    @single_writer
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Restore group-namespaced state; also migrates flat checkpoints.
 
@@ -827,7 +824,10 @@ class TableGroupStore(CompressedEmbedding, EmbeddingStore):
                     "single-group TableGroupStore first"
                 )
             flat = dict(state)
-            if "num_shards" in flat and not hasattr(self._groups[0].backend, "shards"):
+            if (
+                "num_shards" in flat
+                and capability_registry.shard_count(self._groups[0].backend) is None
+            ):
                 # A single-shard sharded-store checkpoint (what ensure_store
                 # models wrote) loading into a bare group backend: unwrap
                 # the shard0 prefix; a multi-shard flat checkpoint has no

@@ -1,0 +1,168 @@
+"""Fixture-snippet tests for every project lint rule (must-flag / must-pass)."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, lint_source, lint_tree
+
+REPO = Path(__file__).resolve().parent.parent
+
+SRC_PATH = "src/repro/serving/engine.py"  # in scope for the src-only rules
+
+
+def flags(source, rel, rule):
+    """Unsuppressed violations of ``rule`` for ``source`` at ``rel``."""
+    return [
+        v for v in lint_source(textwrap.dedent(source), rel)
+        if v.rule == rule and not v.suppressed
+    ]
+
+
+class TestCapabilityProbe:
+    def test_flags_hasattr_in_src(self):
+        found = flags("ok = hasattr(backend, 'sketch')\n", SRC_PATH, "capability-probe")
+        assert len(found) == 1
+        assert "registry" in found[0].message
+
+    def test_flags_callable_getattr_probe(self):
+        source = "ok = callable(getattr(backend, 'seal', None))\n"
+        assert flags(source, SRC_PATH, "capability-probe")
+
+    def test_registry_is_exempt(self):
+        source = "ok = hasattr(backend, 'sketch')\n"
+        assert not flags(source, "src/repro/api/registry.py", "capability-probe")
+
+    def test_tests_are_out_of_scope(self):
+        source = "ok = hasattr(store, '_shards')\n"
+        assert not flags(source, "tests/test_store.py", "capability-probe")
+
+    def test_plain_getattr_with_default_passes(self):
+        source = "value = getattr(config, 'workers', 2)\n"
+        assert not flags(source, SRC_PATH, "capability-probe")
+
+
+class TestSharedMemoryImport:
+    @pytest.mark.parametrize("stmt", [
+        "from multiprocessing import shared_memory\n",
+        "import multiprocessing.shared_memory\n",
+        "from multiprocessing.shared_memory import SharedMemory\n",
+    ])
+    def test_flags_every_import_form(self, stmt):
+        assert flags(stmt, SRC_PATH, "shared-memory-import")
+
+    def test_shm_module_is_exempt(self):
+        stmt = "from multiprocessing import shared_memory\n"
+        assert not flags(stmt, "src/repro/runtime/shm.py", "shared-memory-import")
+
+    def test_other_multiprocessing_imports_pass(self):
+        stmt = "from multiprocessing import Pipe, get_context\n"
+        assert not flags(stmt, SRC_PATH, "shared-memory-import")
+
+
+class TestBenchWallclock:
+    def test_flags_time_time(self):
+        found = flags("start = time.time()\n", "src/repro/bench/embedding_bench.py",
+                      "bench-wallclock")
+        assert len(found) == 1
+        assert "perf_counter" in found[0].message
+
+    def test_perf_counter_passes(self):
+        source = "start = time.perf_counter()\n"
+        assert not flags(source, "src/repro/bench/embedding_bench.py", "bench-wallclock")
+
+
+class TestMutableDefault:
+    def test_flags_list_and_dict_defaults(self):
+        source = """
+        def f(items=[], table={}):
+            return items, table
+        """
+        assert len(flags(source, SRC_PATH, "mutable-default")) == 2
+
+    def test_flags_keyword_only_constructor_default(self):
+        source = """
+        def f(*, cache=dict()):
+            return cache
+        """
+        assert flags(source, SRC_PATH, "mutable-default")
+
+    def test_none_and_tuple_defaults_pass(self):
+        source = """
+        def f(items=None, pair=(1, 2), name="x"):
+            return items, pair, name
+        """
+        assert not flags(source, SRC_PATH, "mutable-default")
+
+
+class TestImplicitDtype:
+    def test_flags_bare_np_zeros_in_store(self):
+        source = "table = np.zeros((4, 8))\n"
+        found = flags(source, "src/repro/store/sharded.py", "implicit-dtype")
+        assert len(found) == 1
+        assert "float64" in found[0].message
+
+    def test_dtype_keyword_passes(self):
+        source = "table = np.zeros((4, 8), dtype=np.float32)\n"
+        assert not flags(source, "src/repro/store/sharded.py", "implicit-dtype")
+
+    def test_positional_dtype_passes(self):
+        source = "table = np.ones((4, 8), np.float32)\n"
+        assert not flags(source, "src/repro/embeddings/cafe.py", "implicit-dtype")
+
+    def test_out_of_scope_module_passes(self):
+        source = "mask = np.zeros((4,))\n"
+        assert not flags(source, "src/repro/serving/stats.py", "implicit-dtype")
+
+
+class TestSuppressions:
+    def test_allow_comment_suppresses_and_is_counted(self):
+        source = "ok = hasattr(x, 'y')  # lint: allow[capability-probe] proxy objects lie\n"
+        violations = lint_source(source, SRC_PATH)
+        assert len(violations) == 1
+        assert violations[0].suppressed
+        assert violations[0].reason == "proxy objects lie"
+
+    def test_allow_for_a_different_rule_does_not_suppress(self):
+        source = "ok = hasattr(x, 'y')  # lint: allow[mutable-default]\n"
+        violations = lint_source(source, SRC_PATH)
+        assert len(violations) == 1
+        assert not violations[0].suppressed
+
+    def test_multiple_rules_in_one_comment(self):
+        source = (
+            "def f(t=time.time(), items=[]):  "
+            "# lint: allow[bench-wallclock, mutable-default] fixture\n"
+            "    return t, items\n"
+        )
+        violations = lint_source(source, SRC_PATH)
+        assert violations and all(v.suppressed for v in violations)
+
+    def test_report_counts_suppressions_by_rule(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "store"
+        src.mkdir(parents=True)
+        src.joinpath("x.py").write_text(
+            "ok = hasattr(x, 'y')  # lint: allow[capability-probe] because\n",
+            encoding="utf-8",
+        )
+        report = lint_tree(tmp_path)
+        assert report.ok
+        assert report.suppression_counts == {"capability-probe": 1}
+
+
+class TestRepoIsClean:
+    def test_rule_catalog_is_stable(self):
+        assert {rule.id for rule in RULES} == {
+            "capability-probe",
+            "shared-memory-import",
+            "bench-wallclock",
+            "mutable-default",
+            "implicit-dtype",
+        }
+
+    def test_lint_tree_finds_no_unsuppressed_violations(self):
+        report = lint_tree(REPO)
+        problems = [v.render() for v in report.unsuppressed] + report.parse_errors
+        assert not problems, "\n".join(problems)
+        assert report.files_scanned > 100

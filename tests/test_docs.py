@@ -21,6 +21,7 @@ DOC_PAGES = (
     "benchmarks.md",
     "runtime_processes.md",
     "sketched_optimizers.md",
+    "analysis.md",
 )
 
 #: Modules whose docstrings carry runnable examples (the CI doctest set).
